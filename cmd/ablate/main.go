@@ -1,0 +1,159 @@
+// Command ablate sweeps the design choices DESIGN.md calls out and
+// prints one table per axis: dependence-counter sharing, pool discipline,
+// DRAM interleave granularity, outstanding requests per thread unit, the
+// DRAM row-buffer model, and the hash cost slope (which moves the
+// fine-hash / fine-guided crossover).
+//
+// Usage:
+//
+//	ablate            # all axes at N=2^15
+//	ablate -n 262144  # larger transform
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codeletfft"
+	"codeletfft/internal/report"
+	"codeletfft/internal/sim"
+)
+
+var n = flag.Int("n", 1<<15, "transform length (power of two)")
+
+func run(mutate func(*codeletfft.Options)) (*codeletfft.Result, error) {
+	opts := codeletfft.NewOptions(*n, codeletfft.Fine)
+	opts.SkipNumerics = true
+	if mutate != nil {
+		mutate(&opts)
+	}
+	return codeletfft.Run(opts)
+}
+
+func table(title string, headers []string, rows func(*report.Table) error) {
+	fmt.Printf("\n%s\n", title)
+	tb := &report.Table{Headers: headers}
+	if err := rows(tb); err != nil {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
+	}
+	if err := tb.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
+	}
+}
+
+func main() {
+	flag.Parse()
+	fmt.Printf("ablations at N=2^%d on the default machine model\n", log2(*n))
+
+	table("counter sharing (section IV-A2)", []string{"mode", "GFLOPS", "counter updates"},
+		func(tb *report.Table) error {
+			for _, shared := range []bool{true, false} {
+				res, err := run(func(o *codeletfft.Options) { o.SharedCounters = shared })
+				if err != nil {
+					return err
+				}
+				mode := "per-child"
+				if shared {
+					mode = "shared sibling-group"
+				}
+				tb.AddRow(mode, res.GFLOPS, res.Runtime.CounterUpdates)
+				_ = mode
+			}
+			return nil
+		})
+
+	table("pool discipline", []string{"discipline", "GFLOPS"},
+		func(tb *report.Table) error {
+			for _, d := range []codeletfft.Discipline{codeletfft.FIFO, codeletfft.LIFO} {
+				res, err := run(func(o *codeletfft.Options) { o.Discipline = d })
+				if err != nil {
+					return err
+				}
+				tb.AddRow(d.String(), res.GFLOPS)
+			}
+			return nil
+		})
+
+	table("DRAM interleave granularity (coarse variant)", []string{"bytes", "GFLOPS", "bank skew"},
+		func(tb *report.Table) error {
+			for _, il := range []int64{16, 32, 64, 128, 256, 1024} {
+				res, err := run(func(o *codeletfft.Options) {
+					o.Variant = codeletfft.Coarse
+					o.Machine.InterleaveBytes = il
+				})
+				if err != nil {
+					return err
+				}
+				tb.AddRow(il, res.GFLOPS, res.BankSkew())
+			}
+			return nil
+		})
+
+	table("outstanding DRAM bursts per TU (guided variant)", []string{"K", "GFLOPS"},
+		func(tb *report.Table) error {
+			for _, k := range []int{1, 2, 4, 8, 16} {
+				res, err := run(func(o *codeletfft.Options) {
+					o.Variant = codeletfft.FineGuided
+					o.Machine.OutstandingRequests = k
+				})
+				if err != nil {
+					return err
+				}
+				tb.AddRow(k, res.GFLOPS)
+			}
+			return nil
+		})
+
+	table("DRAM row-buffer model (coarse variant)", []string{"row bytes", "miss cycles", "GFLOPS"},
+		func(tb *report.Table) error {
+			for _, cfg := range []struct {
+				row  int64
+				miss int
+			}{{0, 0}, {2048, 10}, {2048, 20}, {4096, 20}} {
+				res, err := run(func(o *codeletfft.Options) {
+					o.Variant = codeletfft.Coarse
+					o.Machine.RowBytes = cfg.row
+					o.Machine.RowMissCycles = sim.Time(cfg.miss)
+				})
+				if err != nil {
+					return err
+				}
+				tb.AddRow(cfg.row, cfg.miss, res.GFLOPS)
+			}
+			return nil
+		})
+
+	table("hash cost slope (fine hash / fine guided)", []string{"cycles per bit", "fine hash", "fine guided", "ratio"},
+		func(tb *report.Table) error {
+			for _, slope := range []float64{0, 1.5, 3, 6, 12} {
+				hash, err := run(func(o *codeletfft.Options) {
+					o.Variant = codeletfft.FineHash
+					o.Machine.HashPerBit = slope
+				})
+				if err != nil {
+					return err
+				}
+				guided, err := run(func(o *codeletfft.Options) {
+					o.Variant = codeletfft.FineGuided
+					o.Machine.HashPerBit = slope
+				})
+				if err != nil {
+					return err
+				}
+				tb.AddRow(slope, hash.GFLOPS, guided.GFLOPS, hash.GFLOPS/guided.GFLOPS)
+			}
+			return nil
+		})
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,65 @@
+// Command fftcheck validates the numerics of every algorithm variant
+// across a matrix of transform lengths and codelet sizes, comparing each
+// simulated run's output against an independent reference FFT.
+//
+// Usage:
+//
+//	fftcheck                  # default matrix
+//	fftcheck -maxlog 16       # up to N=2^16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codeletfft"
+	"codeletfft/internal/report"
+)
+
+func main() {
+	var (
+		minLog = flag.Int("minlog", 10, "smallest transform: N=2^minlog")
+		maxLog = flag.Int("maxlog", 14, "largest transform: N=2^maxlog")
+		seed   = flag.Int64("seed", 1, "input seed")
+	)
+	flag.Parse()
+
+	tb := &report.Table{Headers: []string{"N", "task size", "variant", "max error", "GFLOPS"}}
+	worst := 0.0
+	failures := 0
+	for lg := *minLog; lg <= *maxLog; lg += 2 {
+		n := 1 << lg
+		for _, p := range []int{8, 64} {
+			if p > n {
+				continue
+			}
+			for _, v := range codeletfft.Variants() {
+				opts := codeletfft.NewOptions(n, v)
+				opts.TaskSize = p
+				opts.Check = true
+				opts.Seed = *seed
+				res, err := codeletfft.Run(opts)
+				if err != nil {
+					failures++
+					fmt.Fprintf(os.Stderr, "fftcheck: N=2^%d P=%d %v: %v\n", lg, p, v, err)
+					continue
+				}
+				tb.AddRow(fmt.Sprintf("2^%d", lg), p, v.String(),
+					fmt.Sprintf("%.3g", res.MaxError), res.GFLOPS)
+				if res.MaxError > worst {
+					worst = res.MaxError
+				}
+			}
+		}
+	}
+	if err := tb.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fftcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nworst error %.3g across %d runs\n", worst, len(tb.Rows))
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "fftcheck: %d failures\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,142 @@
+// Command fftsim runs one FFT execution on the simulated Cyclops-64 and
+// prints timing, bank balance, and runtime statistics.
+//
+// Usage:
+//
+//	fftsim -n 32768 -variant guided -threads 156 -check
+//	fftsim -n 1048576 -variant coarse -trace -tracebins 48
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"codeletfft"
+	"codeletfft/internal/report"
+	"codeletfft/internal/sim"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 1<<15, "transform length (power of two)")
+		variant    = flag.String("variant", "guided", "coarse | coarse-hash | fine | fine-hash | guided")
+		threads    = flag.Int("threads", 0, "thread units (0 = all 156)")
+		taskSize   = flag.Int("tasksize", 64, "points per codelet (power of two)")
+		order      = flag.String("order", "natural", "initial pool order: natural | reversed | bitrev | random")
+		discipline = flag.String("pool", "lifo", "pool discipline for fine variants: fifo | lifo")
+		check      = flag.Bool("check", false, "verify numerics against a reference FFT")
+		skip       = flag.Bool("skip-numerics", false, "timing-only run (no complex arithmetic)")
+		seed       = flag.Int64("seed", 1, "input and order seed")
+		trace      = flag.Bool("trace", false, "print per-bank access-rate chart")
+	)
+	flag.Parse()
+
+	opts := codeletfft.NewOptions(*n, 0)
+	var ok bool
+	opts.Variant, ok = parseVariant(*variant)
+	if !ok {
+		fatalf("unknown variant %q", *variant)
+	}
+	switch *order {
+	case "natural":
+		opts.Order = codeletfft.OrderNatural
+	case "reversed":
+		opts.Order = codeletfft.OrderReversed
+	case "bitrev":
+		opts.Order = codeletfft.OrderBitReversed
+	case "random":
+		opts.Order = codeletfft.OrderRandom
+	default:
+		fatalf("unknown order %q", *order)
+	}
+	switch *discipline {
+	case "fifo":
+		opts.Discipline = codeletfft.FIFO
+	case "lifo":
+		opts.Discipline = codeletfft.LIFO
+	default:
+		fatalf("unknown pool discipline %q", *discipline)
+	}
+	opts.Threads = *threads
+	opts.TaskSize = *taskSize
+	opts.Check = *check
+	opts.SkipNumerics = *skip
+	opts.Seed = *seed
+	if *trace {
+		opts.TraceBin = sim.Time(max64(int64(*n)/8, 2000))
+	}
+
+	res, err := codeletfft.Run(opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Println(res)
+	fmt.Printf("  cycles        %d (%.3f ms at 500 MHz)\n", res.Cycles, res.Seconds*1e3)
+	fmt.Printf("  GFLOPS        %.3f (theoretical peak %.2f)\n",
+		res.GFLOPS, codeletfft.TheoreticalPeakGFLOPS(opts.Machine, opts.TaskSize))
+	fmt.Printf("  codelets      %d over %d stages\n", res.Codelets, res.Stages)
+	fmt.Printf("  bank bytes    %v (skew %.2f)\n", res.BankBytes, res.BankSkew())
+	fmt.Printf("  bank util     %s\n", fmtUtil(res.BankUtil))
+	fmt.Printf("  pool ops      %d, counter updates %d, lock wait %d cycles\n",
+		res.Runtime.PoolOps, res.Runtime.CounterUpdates, res.Runtime.LockWait)
+	if res.Checked {
+		fmt.Printf("  max error     %.3g (verified against reference FFT)\n", res.MaxError)
+	}
+
+	if res.Trace != nil {
+		tr := res.Trace.Rebin(48)
+		var series []report.Series
+		for b, vals := range tr.Series() {
+			s := report.Series{Name: fmt.Sprintf("bank %d", b)}
+			for w, v := range vals {
+				s.X = append(s.X, float64(w))
+				s.Y = append(s.Y, float64(v))
+			}
+			series = append(series, s)
+		}
+		fmt.Println()
+		if err := report.Chart(os.Stdout, "per-bank access rates", "time window",
+			"accesses/window", series, 72, 16); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+func parseVariant(s string) (codeletfft.Variant, bool) {
+	switch strings.ToLower(s) {
+	case "coarse":
+		return codeletfft.Coarse, true
+	case "coarse-hash", "coarsehash":
+		return codeletfft.CoarseHash, true
+	case "fine":
+		return codeletfft.Fine, true
+	case "fine-hash", "finehash":
+		return codeletfft.FineHash, true
+	case "guided", "fine-guided":
+		return codeletfft.FineGuided, true
+	}
+	return 0, false
+}
+
+func fmtUtil(u []float64) string {
+	parts := make([]string, len(u))
+	for i, v := range u {
+		parts[i] = fmt.Sprintf("%.0f%%", v*100)
+	}
+	return strings.Join(parts, " ")
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fftsim: "+format+"\n", args...)
+	os.Exit(1)
+}

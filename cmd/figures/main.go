@@ -1,0 +1,83 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation section into a results directory (CSV + rendered text) and
+// reports the shape checks that define reproduction success.
+//
+// Usage:
+//
+//	figures -out results            # the full sweep (minutes)
+//	figures -quick -out results     # shrunken sizes (seconds)
+//	figures -fig 8 -out results     # a single figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"codeletfft/internal/exp"
+)
+
+var runners = map[string]func(exp.Config) (*exp.Result, error){
+	"1":      exp.Fig1CoarseTrace,
+	"2":      exp.Fig2GuidedTrace,
+	"6":      exp.Fig6HashTrace,
+	"7":      exp.Fig7CodeletSize,
+	"8":      exp.Fig8InputSizes,
+	"9":      exp.Fig9ThreadScaling,
+	"peak":   exp.TablePeak,
+	"onchip": exp.OnChipTaskSize,
+}
+
+var order = []string{"1", "2", "6", "7", "8", "9", "peak", "onchip"}
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: 1|2|6|7|8|9|peak|onchip|all")
+		out   = flag.String("out", "results", "output directory")
+		quick = flag.Bool("quick", false, "shrunken problem sizes")
+		seed  = flag.Int64("seed", 1, "input and order seed")
+	)
+	flag.Parse()
+
+	cfg := exp.NewConfig()
+	cfg.Quick = *quick
+	cfg.Seed = *seed
+
+	ids := order
+	if *fig != "all" {
+		if _, ok := runners[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown figure %q (want 1|2|6|7|8|9|peak|onchip|all)\n", *fig)
+			os.Exit(2)
+		}
+		ids = []string{*fig}
+	}
+
+	failed := 0
+	for _, id := range ids {
+		res, err := runners[id](cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		if err := exp.WriteResult(*out, res); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: write: %v\n", err)
+			os.Exit(1)
+		}
+		var b strings.Builder
+		if err := exp.Render(&b, res); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: render: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(b.String())
+		fmt.Println()
+		if !res.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "figures: %d experiment(s) had failing shape checks\n", failed)
+		os.Exit(1)
+	}
+	fmt.Printf("all shape checks passed; outputs in %s/\n", *out)
+}

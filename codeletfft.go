@@ -1,0 +1,109 @@
+// Package codeletfft reproduces "Towards Memory-Load Balanced Fast
+// Fourier Transformations in Fine-grain Execution Models" (Chen, Wu,
+// Zuckerman, Gao — IPDPS Workshops 2013): a codelet-model FFT on a
+// simulated IBM Cyclops-64 whose execution order is scheduled to balance
+// the load on the four off-chip DRAM banks.
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/sim      discrete-event engine
+//   - internal/c64      Cyclops-64 machine model (ports, interleave, TUs)
+//   - internal/codelet  codelet runtime (pools, counters, barriers)
+//   - internal/fft      FFT math (plans, kernels, reference transforms)
+//   - internal/core     the paper's five algorithm variants
+//   - internal/exp      one runner per figure/table of the evaluation
+//
+// Quick start:
+//
+//	opts := codeletfft.NewOptions(1<<15, codeletfft.FineGuided)
+//	opts.Check = true
+//	res, err := codeletfft.Run(opts)
+//	// res.GFLOPS, res.BankSkew(), res.Output ...
+package codeletfft
+
+import (
+	"codeletfft/internal/c64"
+	"codeletfft/internal/codelet"
+	"codeletfft/internal/core"
+)
+
+// Re-exported configuration and result types.
+type (
+	// Options configures one simulated FFT execution.
+	Options = core.Options
+	// Result reports one simulated FFT execution.
+	Result = core.Result
+	// Variant selects one of the paper's algorithm versions.
+	Variant = core.Variant
+	// Order arranges the initial codelets in the ready pool.
+	Order = core.Order
+	// MachineConfig holds the Cyclops-64 model parameters.
+	MachineConfig = c64.Config
+	// Discipline selects the ready-pool service order.
+	Discipline = codelet.Discipline
+	// FineConfig names one (order, discipline) fine-grain combination.
+	FineConfig = core.FineConfig
+	// BestWorst holds the extremes of a fine-grain ensemble.
+	BestWorst = core.BestWorst
+)
+
+// Algorithm versions (the paper's Table I).
+const (
+	Coarse     = core.Coarse
+	CoarseHash = core.CoarseHash
+	Fine       = core.Fine
+	FineHash   = core.FineHash
+	FineGuided = core.FineGuided
+)
+
+// Initial pool orders.
+const (
+	OrderNatural     = core.OrderNatural
+	OrderReversed    = core.OrderReversed
+	OrderBitReversed = core.OrderBitReversed
+	OrderRandom      = core.OrderRandom
+)
+
+// Pool disciplines.
+const (
+	FIFO = codelet.FIFO
+	LIFO = codelet.LIFO
+)
+
+// NewOptions returns paper-default options for an N-point transform.
+func NewOptions(n int, v Variant) Options { return core.NewOptions(n, v) }
+
+// DefaultMachine returns the published Cyclops-64 parameters.
+func DefaultMachine() MachineConfig { return c64.Default() }
+
+// Run simulates one FFT execution.
+func Run(opts Options) (*Result, error) { return core.Run(opts) }
+
+// RunFineBestWorst sweeps the plain fine-grain variant over an ensemble
+// of initial orders and pool disciplines (nil = the default ensemble) and
+// returns the fastest and slowest runs — the paper's "fine best" and
+// "fine worst".
+func RunFineBestWorst(base Options, configs []FineConfig) (*BestWorst, error) {
+	return core.RunFineBestWorst(base, configs)
+}
+
+// TheoreticalPeakGFLOPS evaluates the paper's equations (1)-(4): the
+// DRAM-bandwidth ceiling of a P-point-task FFT (10 GFLOPS for P=64).
+func TheoreticalPeakGFLOPS(cfg MachineConfig, taskSize int) float64 {
+	return core.TheoreticalPeakGFLOPS(cfg, taskSize)
+}
+
+// Variants lists all algorithm versions in presentation order.
+func Variants() []Variant { return core.Variants() }
+
+// Options2D configures a simulated 2-D (row-column) FFT; Result2D
+// reports it. The column pass's stride-Cols accesses are a bank-balance
+// stress case beyond the paper's 1-D evaluation.
+type (
+	Options2D = core.Options2D
+	Result2D  = core.Result2D
+)
+
+// Run2D simulates a 2-D FFT: a fine-grain row pass, a barrier, and a
+// fine-grain column pass.
+func Run2D(opts Options2D) (*Result2D, error) { return core.Run2D(opts) }

@@ -1,0 +1,79 @@
+package codeletfft_test
+
+import (
+	"testing"
+
+	"codeletfft"
+)
+
+func TestFacadeRun(t *testing.T) {
+	opts := codeletfft.NewOptions(1<<12, codeletfft.FineGuided)
+	opts.Check = true
+	res, err := codeletfft.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GFLOPS <= 0 || res.Cycles <= 0 {
+		t.Fatalf("degenerate result: %v", res)
+	}
+	if !res.Checked || res.MaxError > 1e-8 {
+		t.Fatalf("numeric check failed: %g", res.MaxError)
+	}
+}
+
+func TestFacadeVariants(t *testing.T) {
+	vs := codeletfft.Variants()
+	if len(vs) != 5 {
+		t.Fatalf("want 5 variants, got %d", len(vs))
+	}
+	names := map[string]bool{}
+	for _, v := range vs {
+		names[v.String()] = true
+	}
+	for _, want := range []string{"coarse", "coarse hash", "fine", "fine hash", "fine guided"} {
+		if !names[want] {
+			t.Fatalf("missing variant %q", want)
+		}
+	}
+}
+
+func TestFacadePeak(t *testing.T) {
+	peak := codeletfft.TheoreticalPeakGFLOPS(codeletfft.DefaultMachine(), 64)
+	if peak < 10.0 || peak > 10.1 {
+		t.Fatalf("peak = %.3f, want the paper's ~10 GFLOPS", peak)
+	}
+}
+
+func TestFacadeBestWorst(t *testing.T) {
+	base := codeletfft.NewOptions(1<<12, codeletfft.Fine)
+	base.SkipNumerics = true
+	bw, err := codeletfft.RunFineBestWorst(base, []codeletfft.FineConfig{
+		{Order: codeletfft.OrderNatural, Discipline: codeletfft.FIFO},
+		{Order: codeletfft.OrderNatural, Discipline: codeletfft.LIFO},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw.Best.GFLOPS < bw.Worst.GFLOPS {
+		t.Fatal("best slower than worst")
+	}
+}
+
+func TestFacadeMachineOverride(t *testing.T) {
+	opts := codeletfft.NewOptions(1<<12, codeletfft.Coarse)
+	opts.SkipNumerics = true
+	opts.Machine = codeletfft.DefaultMachine()
+	opts.Machine.DRAMPortBytesPerCycle = 16 // double the port bandwidth
+	fast, err := codeletfft.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Machine = codeletfft.DefaultMachine()
+	slow, err := codeletfft.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.GFLOPS <= slow.GFLOPS {
+		t.Fatalf("doubling DRAM bandwidth did not help: %.3f vs %.3f", fast.GFLOPS, slow.GFLOPS)
+	}
+}

@@ -1,0 +1,35 @@
+// Image2d runs a 2-D FFT on the simulated Cyclops-64: it builds a small
+// "image" containing a smooth gradient plus a periodic grating, runs the
+// row-column transform through the codelet machinery (verified against a
+// host 2-D FFT), and reports how the strided column pass compares to the
+// contiguous row pass on the interleaved DRAM banks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"codeletfft"
+)
+
+func main() {
+	const rows, cols = 256, 256
+
+	res, err := codeletfft.Run2D(codeletfft.Options2D{
+		Rows: rows, Cols: cols, TaskSize: 64, Check: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rowC := res.RowCycles
+	colC := res.Cycles - res.RowCycles
+	fmt.Printf("2-D FFT of a %dx%d image on the simulated C64\n\n", rows, cols)
+	fmt.Printf("  total        %d cycles (%.3f ms), %.3f GFLOPS\n",
+		res.Cycles, res.Seconds*1e3, res.GFLOPS)
+	fmt.Printf("  row pass     %d cycles (contiguous rows)\n", rowC)
+	fmt.Printf("  column pass  %d cycles (stride-%d: whole columns on one bank)\n", colC, cols)
+	fmt.Printf("  slowdown     %.2fx for the strided pass\n", float64(colC)/float64(rowC))
+	fmt.Printf("  bank bytes   %v\n", res.BankBytes)
+	fmt.Printf("  max error    %.3g (verified against a host 2-D FFT)\n", res.MaxError)
+}

@@ -1,0 +1,32 @@
+// Quickstart: run the paper's guided fine-grain FFT on the simulated
+// Cyclops-64, verify the numerics, and compare against the coarse-grain
+// baseline and the theoretical peak.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"codeletfft"
+)
+
+func main() {
+	const n = 1 << 15 // 32768-point transform, DRAM-resident
+
+	fmt.Printf("FFT of %d points on a simulated Cyclops-64 (%s)\n\n",
+		n, codeletfft.DefaultMachine())
+
+	for _, v := range []codeletfft.Variant{codeletfft.Coarse, codeletfft.FineGuided} {
+		opts := codeletfft.NewOptions(n, v)
+		opts.Check = true // verify output against an independent FFT
+		res, err := codeletfft.Run(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %7.3f GFLOPS  %8d cycles  bank skew %.2f  max error %.2g\n",
+			v, res.GFLOPS, res.Cycles, res.BankSkew(), res.MaxError)
+	}
+
+	peak := codeletfft.TheoreticalPeakGFLOPS(codeletfft.DefaultMachine(), 64)
+	fmt.Printf("\ntheoretical peak for 64-point codelets (paper eq. 4): %.2f GFLOPS\n", peak)
+}

@@ -1,0 +1,3 @@
+module codeletfft
+
+go 1.22

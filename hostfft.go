@@ -1,0 +1,65 @@
+package codeletfft
+
+import (
+	"codeletfft/internal/fft"
+)
+
+// HostPlan exposes the staged FFT decomposition for direct numeric use on
+// the host, without the machine simulation: the same kernels the
+// simulated codelets execute, callable as a plain FFT library.
+type HostPlan struct {
+	pl *fft.Plan
+	w  []complex128
+}
+
+// NewHostPlan builds a host-side plan for n-point transforms with
+// taskSize-point kernels (64, the paper's sweet spot, is a good default).
+func NewHostPlan(n, taskSize int) (*HostPlan, error) {
+	pl, err := fft.NewPlan(n, taskSize)
+	if err != nil {
+		return nil, err
+	}
+	return &HostPlan{pl: pl, w: fft.Twiddles(n)}, nil
+}
+
+// N returns the transform length.
+func (h *HostPlan) N() int { return h.pl.N }
+
+// Transform applies the forward FFT in place. len(data) must equal N.
+func (h *HostPlan) Transform(data []complex128) { h.pl.Transform(data, h.w) }
+
+// Inverse applies the inverse FFT in place.
+func (h *HostPlan) Inverse(data []complex128) { h.pl.InverseTransform(data, h.w) }
+
+// HostPlan2D is the 2-D row-column analogue of HostPlan.
+type HostPlan2D struct{ pl *fft.Plan2D }
+
+// NewHostPlan2D builds a host-side plan for rows×cols transforms.
+func NewHostPlan2D(rows, cols, taskSize int) (*HostPlan2D, error) {
+	pl, err := fft.NewPlan2D(rows, cols, taskSize)
+	if err != nil {
+		return nil, err
+	}
+	return &HostPlan2D{pl: pl}, nil
+}
+
+// Transform applies the forward 2-D FFT in place (row-major data).
+func (h *HostPlan2D) Transform(data []complex128) { h.pl.Transform(data) }
+
+// Inverse applies the inverse 2-D FFT in place.
+func (h *HostPlan2D) Inverse(data []complex128) { h.pl.InverseTransform(data) }
+
+// DFT computes the discrete Fourier transform directly in O(n²) — the
+// ground-truth reference (any length).
+func DFT(x []complex128) []complex128 { return fft.DFT(x) }
+
+// FFT computes the transform of a power-of-two-length input with the
+// recursive Cooley-Tukey algorithm, allocating the result.
+func FFT(x []complex128) []complex128 { return fft.Recursive(x) }
+
+// IFFT computes the inverse transform, allocating the result.
+func IFFT(x []complex128) []complex128 { return fft.Inverse(x) }
+
+// StockhamFFT computes the transform with the radix-2 Stockham autosort
+// algorithm (no bit-reversal pass), allocating the result.
+func StockhamFFT(x []complex128) []complex128 { return fft.Stockham(x) }

@@ -1,0 +1,91 @@
+package codeletfft_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"codeletfft"
+)
+
+func noise(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		d := a[i] - b[i]
+		if v := real(d)*real(d) + imag(d)*imag(d); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func TestHostPlanMatchesReference(t *testing.T) {
+	n := 1 << 12
+	h, err := codeletfft.NewHostPlan(n, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != n {
+		t.Fatalf("N = %d", h.N())
+	}
+	x := noise(n, 1)
+	data := append([]complex128(nil), x...)
+	h.Transform(data)
+	want := codeletfft.FFT(x)
+	if e := maxErr(data, want); e > 1e-12 {
+		t.Fatalf("host plan error %g", e)
+	}
+	h.Inverse(data)
+	if e := maxErr(data, x); e > 1e-16 {
+		t.Fatalf("roundtrip error %g", e)
+	}
+}
+
+func TestHostPlanRejectsBadShape(t *testing.T) {
+	if _, err := codeletfft.NewHostPlan(100, 64); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+}
+
+func TestHostPlan2DRoundTrip(t *testing.T) {
+	h, err := codeletfft.NewHostPlan2D(32, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := noise(32*64, 2)
+	data := append([]complex128(nil), x...)
+	h.Transform(data)
+	h.Inverse(data)
+	if e := maxErr(data, x); e > 1e-16 {
+		t.Fatalf("2-D roundtrip error %g", e)
+	}
+}
+
+func TestStockhamFFTAgreesWithFFT(t *testing.T) {
+	x := noise(1024, 3)
+	a := codeletfft.StockhamFFT(x)
+	b := codeletfft.FFT(x)
+	if e := maxErr(a, b); e > 1e-14 {
+		t.Fatalf("Stockham vs Cooley-Tukey error %g", e)
+	}
+}
+
+func TestDFTSmall(t *testing.T) {
+	x := []complex128{1, 2, 3, 4}
+	y := codeletfft.DFT(x)
+	if real(y[0]) != 10 {
+		t.Fatalf("DC = %v, want 10", y[0])
+	}
+	back := codeletfft.IFFT(codeletfft.FFT(x))
+	if e := maxErr(back, x); e > 1e-20 {
+		t.Fatalf("IFFT(FFT(x)) error %g", e)
+	}
+}

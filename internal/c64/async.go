@@ -1,0 +1,145 @@
+package c64
+
+import (
+	"math"
+
+	"codeletfft/internal/sim"
+)
+
+// burst is one ≤InterleaveBytes transfer confined to a single bank.
+type burst struct {
+	bank  int
+	addr  int64
+	bytes int64
+}
+
+// splitBursts decomposes a request batch into per-bank bursts in issue
+// order, coalescing contiguous bytes that fall in the same interleave
+// block (the hardware switches ports at block boundaries, so a block is
+// the largest unit a single access can cover). Contiguous element loads
+// therefore become block-sized bursts; strided loads stay one burst per
+// element.
+func (m *Machine) splitBursts(reqs []Request, dst []burst) []burst {
+	il := m.Cfg.InterleaveBytes
+	ports := int64(m.Cfg.DRAMPorts)
+	lastEnd := int64(-1)
+	for _, r := range reqs {
+		if r.Bytes <= 0 {
+			continue
+		}
+		addr, remain := r.Addr, r.Bytes
+		for remain > 0 {
+			block := addr / il
+			bank := int(block % ports)
+			chunk := (block+1)*il - addr
+			if chunk > remain {
+				chunk = remain
+			}
+			// addr continuing inside the previous burst's block merges
+			// with it; a block start (addr%il == 0) is always a new
+			// burst on the next port.
+			if len(dst) > 0 && addr == lastEnd && addr%il != 0 {
+				dst[len(dst)-1].bytes += chunk
+			} else {
+				dst = append(dst, burst{bank: bank, addr: addr, bytes: chunk})
+			}
+			lastEnd = addr + chunk
+			addr += chunk
+			remain -= chunk
+		}
+	}
+	return dst
+}
+
+// access tracks one in-flight asynchronous batch.
+type access struct {
+	m       *Machine
+	kind    Kind
+	bursts  []burst
+	next    int
+	inFlt   int
+	maxDone sim.Time
+	done    func(sim.Time)
+}
+
+// DRAMAccessAsync issues the request batch starting at time at, keeping
+// at most Cfg.OutstandingRequests bursts in flight, and calls done once
+// with the completion time of the last burst. Because each follow-on
+// burst is issued by the completion event of an earlier one, bursts from
+// concurrent thread units interleave in the port queues and a congested
+// port serves its competitors round-robin — unlike DRAMAccess, which
+// reserves a port for a whole batch at once.
+//
+// done may be invoked synchronously when the batch is empty.
+func (m *Machine) DRAMAccessAsync(at sim.Time, kind Kind, reqs []Request, done func(sim.Time)) {
+	op := &access{m: m, kind: kind, done: done}
+	op.bursts = m.splitBursts(reqs, op.bursts)
+	if len(op.bursts) == 0 {
+		done(at)
+		return
+	}
+	if at > m.Eng.Now() {
+		m.Eng.ScheduleAt(at, func(now sim.Time) { op.issue(now) })
+	} else {
+		op.issue(at)
+	}
+}
+
+// issue launches bursts until the outstanding window is full.
+func (op *access) issue(now sim.Time) {
+	m := op.m
+	for op.inFlt < m.Cfg.OutstandingRequests && op.next < len(op.bursts) {
+		b := op.bursts[op.next]
+		op.next++
+		op.inFlt++
+		service := sim.Time(math.Ceil(float64(b.bytes) / m.Cfg.DRAMPortBytesPerCycle))
+		// Row-buffer model: an access outside the bank's open row pays the
+		// precharge+activate occupancy. Hit or miss depends on the global
+		// arrival order at the bank, which is exactly what distinguishes
+		// the scheduling disciplines under study.
+		if m.Cfg.RowBytes > 0 {
+			row := b.addr / m.Cfg.RowBytes
+			if row != m.openRow[b.bank] {
+				m.openRow[b.bank] = row
+				m.rowMisses[b.bank]++
+				service += m.Cfg.RowMissCycles
+			} else {
+				m.rowHits[b.bank]++
+			}
+		}
+		start, fin := m.dram[b.bank].Acquire(now, service)
+		m.record(b.bank, start, b.bytes, op.kind)
+		completion := fin + m.Cfg.DRAMLatency
+		m.Eng.ScheduleAt(completion, op.burstDone)
+	}
+}
+
+// burstDone retires one burst: refill the window, and finish the batch
+// when everything has drained.
+func (op *access) burstDone(now sim.Time) {
+	op.inFlt--
+	if now > op.maxDone {
+		op.maxDone = now
+	}
+	if op.next < len(op.bursts) {
+		op.issue(now)
+		return
+	}
+	if op.inFlt == 0 {
+		op.done(op.maxDone)
+	}
+}
+
+// record accumulates statistics and tracing for one burst.
+func (m *Machine) record(bank int, at sim.Time, bytes int64, kind Kind) {
+	m.bankBytes[bank] += bytes
+	m.bankAccesses[bank] += bytes / 8
+	if kind == Load {
+		m.loadBytes += bytes
+	} else {
+		m.storeBytes += bytes
+	}
+	if m.Tracer != nil {
+		m.Tracer.RecordDRAM(bank, at, bytes, kind)
+	}
+}

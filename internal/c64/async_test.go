@@ -1,0 +1,200 @@
+package c64
+
+import (
+	"testing"
+
+	"codeletfft/internal/sim"
+)
+
+func noRowCfg() Config {
+	cfg := Default()
+	cfg.DRAMLatency = 0
+	cfg.RowBytes = 0
+	return cfg
+}
+
+func TestSplitBurstsCoalescesContiguous(t *testing.T) {
+	m := NewMachine(Default())
+	// Four contiguous 16-byte elements in one interleave block coalesce
+	// into a single 64-byte burst.
+	var reqs []Request
+	for i := int64(0); i < 4; i++ {
+		reqs = append(reqs, Request{Addr: i * 16, Bytes: 16})
+	}
+	bursts := m.splitBursts(reqs, nil)
+	if len(bursts) != 1 || bursts[0].bytes != 64 || bursts[0].bank != 0 {
+		t.Fatalf("bursts = %+v, want one 64B burst on bank 0", bursts)
+	}
+}
+
+func TestSplitBurstsStridedStaysSeparate(t *testing.T) {
+	m := NewMachine(Default())
+	// Strided 16-byte elements 1024 bytes apart: one burst each, all on
+	// the same bank (1024 = 16 blocks = 4 full rounds).
+	var reqs []Request
+	for i := int64(0); i < 8; i++ {
+		reqs = append(reqs, Request{Addr: i * 1024, Bytes: 16})
+	}
+	bursts := m.splitBursts(reqs, nil)
+	if len(bursts) != 8 {
+		t.Fatalf("want 8 bursts, got %d", len(bursts))
+	}
+	for _, b := range bursts {
+		if b.bank != 0 || b.bytes != 16 {
+			t.Fatalf("burst = %+v", b)
+		}
+	}
+}
+
+func TestSplitBurstsCrossBlock(t *testing.T) {
+	m := NewMachine(Default())
+	// A 256-byte request spans all four banks exactly once.
+	bursts := m.splitBursts([]Request{{Addr: 0, Bytes: 256}}, nil)
+	if len(bursts) != 4 {
+		t.Fatalf("want 4 bursts, got %d", len(bursts))
+	}
+	for i, b := range bursts {
+		if b.bank != i || b.bytes != 64 {
+			t.Fatalf("burst %d = %+v", i, b)
+		}
+	}
+}
+
+func TestAsyncSingleBurst(t *testing.T) {
+	cfg := noRowCfg()
+	cfg.DRAMLatency = 10
+	m := NewMachine(cfg)
+	var done sim.Time
+	m.DRAMAccessAsync(5, Load, []Request{{Addr: 0, Bytes: 64}}, func(t sim.Time) { done = t })
+	m.Eng.Run()
+	// Issue at 5, service 8 cycles, +10 latency → 23.
+	if done != 23 {
+		t.Fatalf("done = %d, want 23", done)
+	}
+}
+
+func TestAsyncEmptyBatchSynchronous(t *testing.T) {
+	m := NewMachine(noRowCfg())
+	called := false
+	m.DRAMAccessAsync(7, Load, nil, func(t sim.Time) {
+		called = true
+		if t != 7 {
+			panic("bad time")
+		}
+	})
+	if !called {
+		t.Fatal("empty batch should complete synchronously")
+	}
+}
+
+func TestAsyncOutstandingWindowLimitsPipelining(t *testing.T) {
+	// 8 same-bank bursts with K=2: bursts serialize on the port (8 cycles
+	// each), and the window only refills on completions, so the port goes
+	// idle between windows when latency is large.
+	cfg := noRowCfg()
+	cfg.OutstandingRequests = 2
+	cfg.DRAMLatency = 100
+	m := NewMachine(cfg)
+	var reqs []Request
+	for i := int64(0); i < 8; i++ {
+		reqs = append(reqs, Request{Addr: i * 1024, Bytes: 64})
+	}
+	var done sim.Time
+	m.DRAMAccessAsync(0, Load, reqs, func(t sim.Time) { done = t })
+	m.Eng.Run()
+	// Window of 2: service 8+8, completions at 108,116; next window
+	// issues at 108... completion chain ≈ 4 windows × ~116.
+	if done < 400 {
+		t.Fatalf("done = %d; K=2 with 100-cycle latency cannot finish this fast", done)
+	}
+	k8 := NewMachine(func() Config { c := noRowCfg(); c.OutstandingRequests = 8; c.DRAMLatency = 100; return c }())
+	var done8 sim.Time
+	k8.DRAMAccessAsync(0, Load, reqs, func(t sim.Time) { done8 = t })
+	k8.Eng.Run()
+	if done8 >= done {
+		t.Fatalf("K=8 (%d) should beat K=2 (%d)", done8, done)
+	}
+}
+
+func TestAsyncInterleavesAcrossCallers(t *testing.T) {
+	// Two concurrent batches on one bank share the port roughly fairly:
+	// neither finishes before the other's first burst is served.
+	cfg := noRowCfg()
+	cfg.OutstandingRequests = 1
+	m := NewMachine(cfg)
+	mk := func(base int64) []Request {
+		var reqs []Request
+		for i := int64(0); i < 4; i++ {
+			reqs = append(reqs, Request{Addr: base + i*1024, Bytes: 64})
+		}
+		return reqs
+	}
+	var doneA, doneB sim.Time
+	m.DRAMAccessAsync(0, Load, mk(0), func(t sim.Time) { doneA = t })
+	m.DRAMAccessAsync(0, Load, mk(1<<20), func(t sim.Time) { doneB = t })
+	m.Eng.Run()
+	// 8 bursts × 8 cycles = 64 total; interleaved completion: both finish
+	// in the final quarter of the horizon.
+	if doneA < 48 || doneB < 48 {
+		t.Fatalf("completions %d/%d suggest batch-FIFO, not interleaving", doneA, doneB)
+	}
+}
+
+func TestAsyncStatsMatchSync(t *testing.T) {
+	reqs := []Request{{Addr: 0, Bytes: 256}, {Addr: 4096, Bytes: 16}}
+	a := NewMachine(noRowCfg())
+	a.DRAMAccessAsync(0, Store, reqs, func(sim.Time) {})
+	a.Eng.Run()
+	s := NewMachine(noRowCfg())
+	s.DRAMAccess(0, Store, reqs)
+	ab, sb := a.BankBytes(), s.BankBytes()
+	for i := range ab {
+		if ab[i] != sb[i] {
+			t.Fatalf("bank %d: async %d vs sync %d bytes", i, ab[i], sb[i])
+		}
+	}
+	if a.StoreBytes() != s.StoreBytes() {
+		t.Fatal("store byte accounting differs")
+	}
+}
+
+func TestRowBufferPenalty(t *testing.T) {
+	cfg := noRowCfg()
+	cfg.RowBytes = 2048
+	cfg.RowMissCycles = 30
+	m := NewMachine(cfg)
+	// Two bursts in the same row: one miss then one hit.
+	var done sim.Time
+	m.DRAMAccessAsync(0, Load, []Request{{Addr: 0, Bytes: 16}, {Addr: 1024, Bytes: 16}},
+		func(t sim.Time) { done = t })
+	m.Eng.Run()
+	hits, misses := m.RowHits(), m.RowMisses()
+	if misses[0] != 1 {
+		t.Fatalf("misses = %v, want 1 on bank 0", misses)
+	}
+	if hits[0] != 1 {
+		t.Fatalf("hits = %v, want 1 on bank 0", hits)
+	}
+	// miss: 2+30 = 32 cycles, then hit: 2 cycles → done at 34.
+	if done != 34 {
+		t.Fatalf("done = %d, want 34", done)
+	}
+}
+
+func TestRowBufferAlternatingRowsAllMiss(t *testing.T) {
+	cfg := noRowCfg()
+	cfg.RowBytes = 2048
+	cfg.RowMissCycles = 30
+	m := NewMachine(cfg)
+	var done sim.Time
+	// Alternate between two rows on bank 0: every access misses.
+	m.DRAMAccessAsync(0, Load, []Request{
+		{Addr: 0, Bytes: 16}, {Addr: 4096, Bytes: 16},
+		{Addr: 16, Bytes: 16}, {Addr: 4112, Bytes: 16},
+	}, func(t sim.Time) { done = t })
+	m.Eng.Run()
+	if m.RowMisses()[0] != 4 {
+		t.Fatalf("misses = %v, want 4", m.RowMisses())
+	}
+	_ = done
+}

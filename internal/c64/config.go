@@ -1,0 +1,214 @@
+// Package c64 models the memory system and compute throughput of an IBM
+// Cyclops-64 (C64) node, the testbed of the reproduced paper.
+//
+// A C64 chip has 160 simple in-order thread units (TUs) at 500 MHz; each
+// pair of TUs shares one floating-point unit issuing one fused
+// multiply-add per cycle. Off-chip DRAM is reached through four ports with
+// 16 GB/s aggregate bandwidth, and the hardware interleaves physical
+// addresses across the four ports round-robin every 64 bytes. That
+// interleaving is the root cause studied by the paper: FFT twiddle-factor
+// accesses whose strides are multiples of 4 complex elements (64 bytes)
+// all land on the same port and serialize there while the other three
+// ports idle.
+//
+// The model is deliberately at the fidelity of the paper's own testbed
+// (the FAST functionally-accurate simulator): request streams are
+// byte-accurate, port service is FIFO at the configured bandwidth, and
+// compute is charged at the FPU's throughput. Cache effects do not exist
+// on C64 (software-managed scratchpad only), which keeps this level of
+// modeling honest.
+package c64
+
+import (
+	"errors"
+	"fmt"
+
+	"codeletfft/internal/sim"
+)
+
+// Config holds every architectural and runtime-overhead parameter of the
+// machine model. All time quantities are in cycles of the 500 MHz clock.
+type Config struct {
+	// ThreadUnits is the number of usable thread units. The paper uses
+	// 156 of the 160, reserving 4 for the OS kernel.
+	ThreadUnits int
+
+	// ClockHz converts cycles to seconds (500 MHz on C64).
+	ClockHz float64
+
+	// DRAMPorts is the number of off-chip memory ports/banks (4 on C64).
+	DRAMPorts int
+
+	// DRAMPortBytesPerCycle is the service bandwidth of one port.
+	// 8 bytes/cycle × 4 ports × 500 MHz = 16 GB/s, the paper's figure.
+	DRAMPortBytesPerCycle float64
+
+	// DRAMLatency is the fixed access latency in cycles charged before a
+	// request's service can begin.
+	DRAMLatency sim.Time
+
+	// InterleaveBytes is the interleaving granularity across DRAM ports:
+	// bank(addr) = (addr / InterleaveBytes) mod DRAMPorts. 64 on C64.
+	InterleaveBytes int64
+
+	// RowBytes is the DRAM row (page) size per bank. Consecutive accesses
+	// that stay within one row are served at full port bandwidth; a row
+	// change adds RowMissCycles of port occupancy (precharge+activate).
+	// Row hits and misses depend on the order requests reach the bank, so
+	// unlike raw byte counts this cost is schedule-dependent: the
+	// coarse-grain algorithm's synchronized large-stride twiddle storms
+	// are maximally row-hostile, while the fine-grain orders mix in
+	// row-friendly small-stride traffic.
+	RowBytes int64
+
+	// RowMissCycles is the extra port occupancy for a row change.
+	RowMissCycles sim.Time
+
+	// OutstandingRequests is the number of DRAM bursts one thread unit
+	// may have in flight (C64 TUs are simple in-order cores; software
+	// pipelining sustains a handful of outstanding loads). Bursts from
+	// different TUs interleave in the port queues, so a congested port
+	// serves the competing TUs round-robin — the mechanism that stretches
+	// every codelet's load phase when all concurrent codelets aim at the
+	// same bank.
+	OutstandingRequests int
+
+	// SRAMLatency is the access latency of on-chip SRAM through the
+	// crossbar, and SRAMBytesPerCycle the aggregate on-chip bandwidth
+	// (320 GB/s = 640 B/cycle at 500 MHz). On-chip memory is a single
+	// crossbar-fed resource here: with 160 banks behind a 96-port
+	// crossbar it is never bank-limited the way the 4 DRAM ports are.
+	SRAMLatency       sim.Time
+	SRAMBytesPerCycle float64
+
+	// SRAMBytes is the capacity of the shared on-chip SRAM (≈2.5 MB on
+	// C64) available for SRAM-resident transforms.
+	SRAMBytes int64
+
+	// RegistersPerTU is the number of 64-bit registers a kernel may use
+	// for its working set before spilling to scratchpad — the constraint
+	// that made 8-point butterflies the sweet spot for the SRAM-resident
+	// FFT of Chen et al. (paper section III-B).
+	RegistersPerTU int
+
+	// SpillMoveCycles is the cost of moving one spilled 8-byte word to or
+	// from scratchpad in a register-constrained on-chip kernel.
+	SpillMoveCycles float64
+
+	// ScratchpadBytes is the per-TU scratchpad capacity usable for a
+	// codelet's working set (data points + twiddles). Working sets that
+	// exceed it spill to DRAM (the reason 64-point codelets are the
+	// paper's sweet spot and 128-point ones regress in Fig. 7).
+	ScratchpadBytes int64
+
+	// FlopsPerCycle is the effective floating-point throughput of one TU.
+	// Each TU pair shares an FPU doing 1 FMA (2 flops)/cycle, so a fully
+	// loaded TU sustains 1 flop/cycle.
+	FlopsPerCycle float64
+
+	// KernelOverhead is a fixed per-codelet cost in cycles, and
+	// KernelOverheadPerPoint a per-element cost, for loop and address
+	// arithmetic around the butterfly computation.
+	KernelOverhead         sim.Time
+	KernelOverheadPerPoint float64
+
+	// PoolAccess is the cost in cycles of one push or pop on the shared
+	// codelet pool, charged while holding the pool lock (pool operations
+	// from different TUs serialize, which is how fine-grain scheduling
+	// overhead manifests on C64).
+	PoolAccess sim.Time
+
+	// CounterUpdate is the cost in cycles of one atomic dependence-counter
+	// update in SRAM.
+	CounterUpdate sim.Time
+
+	// BarrierLatency is the cost in cycles of the hardware barrier once
+	// every TU has arrived (the dominant barrier cost — waiting for
+	// stragglers — emerges from the simulation itself).
+	BarrierLatency sim.Time
+
+	// HashBase and HashPerBit model the software bit-reversal hash applied
+	// to twiddle addresses in the "hash" variants: each hashed access
+	// costs HashBase + HashPerBit×(index width in bits) extra TU cycles.
+	// The paper attributes the hash variants' slowdown at large inputs to
+	// this per-bit cost.
+	HashBase   float64
+	HashPerBit float64
+}
+
+// Default returns the configuration of a C64 node as published: 156 usable
+// TUs at 500 MHz, 4 DRAM ports at 16 GB/s aggregate, 64-byte interleaving.
+func Default() Config {
+	return Config{
+		ThreadUnits:           156,
+		ClockHz:               500e6,
+		DRAMPorts:             4,
+		DRAMPortBytesPerCycle: 8,
+		DRAMLatency:           56,
+		InterleaveBytes:       64,
+		RowBytes:              0, // row-buffer modeling off by default; see ablations
+		RowMissCycles:         20,
+		OutstandingRequests:   4,
+		SRAMLatency:           31,
+		SRAMBytesPerCycle:     640,
+		SRAMBytes:             2516582, // ≈2.4 MiB usable of the 2.5 MB SRAM half
+
+		RegistersPerTU:         40, // of 64; the rest hold addresses/temporaries
+		SpillMoveCycles:        8,
+		ScratchpadBytes:        3072,
+		FlopsPerCycle:          1,
+		KernelOverhead:         72,
+		KernelOverheadPerPoint: 2, // 72 + 2·64 = 200 cycles for a 64-point codelet
+		PoolAccess:             4,
+		CounterUpdate:          6,
+		BarrierLatency:         128,
+		HashBase:               14,
+		HashPerBit:             3,
+	}
+}
+
+// Validate reports a descriptive error for nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.ThreadUnits <= 0:
+		return errors.New("c64: ThreadUnits must be positive")
+	case c.ClockHz <= 0:
+		return errors.New("c64: ClockHz must be positive")
+	case c.DRAMPorts <= 0:
+		return errors.New("c64: DRAMPorts must be positive")
+	case c.DRAMPortBytesPerCycle <= 0:
+		return errors.New("c64: DRAMPortBytesPerCycle must be positive")
+	case c.DRAMLatency < 0:
+		return errors.New("c64: DRAMLatency must be nonnegative")
+	case c.InterleaveBytes <= 0:
+		return errors.New("c64: InterleaveBytes must be positive")
+	case c.OutstandingRequests <= 0:
+		return errors.New("c64: OutstandingRequests must be positive")
+	case c.RowBytes < 0 || c.RowMissCycles < 0:
+		return errors.New("c64: row-buffer parameters must be nonnegative")
+	case c.SRAMLatency < 0 || c.SRAMBytesPerCycle < 0:
+		return errors.New("c64: SRAM parameters must be nonnegative")
+	case c.FlopsPerCycle <= 0:
+		return errors.New("c64: FlopsPerCycle must be positive")
+	case c.ScratchpadBytes < 0:
+		return errors.New("c64: ScratchpadBytes must be nonnegative")
+	}
+	return nil
+}
+
+// DRAMBandwidth returns the aggregate off-chip bandwidth in bytes/second.
+func (c Config) DRAMBandwidth() float64 {
+	return float64(c.DRAMPorts) * c.DRAMPortBytesPerCycle * c.ClockHz
+}
+
+// Seconds converts a cycle count to wall-clock seconds at the model clock.
+func (c Config) Seconds(cycles sim.Time) float64 {
+	return float64(cycles) / c.ClockHz
+}
+
+// String summarizes the key architectural parameters.
+func (c Config) String() string {
+	return fmt.Sprintf("c64{%d TUs @%.0f MHz, %d ports ×%.0f B/cy, %d B interleave, lat %d}",
+		c.ThreadUnits, c.ClockHz/1e6, c.DRAMPorts, c.DRAMPortBytesPerCycle,
+		c.InterleaveBytes, c.DRAMLatency)
+}

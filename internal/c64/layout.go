@@ -1,0 +1,53 @@
+package c64
+
+// ElemBytes is the size of one double-precision complex element, the unit
+// of all FFT arrays in the paper.
+const ElemBytes = 16
+
+// Layout places the data array D and twiddle array W in the DRAM address
+// space. W's base is aligned to a full interleave round
+// (InterleaveBytes × DRAMPorts) so that W[0] maps to bank 0 — the paper's
+// layout, under which every early-stage twiddle access (stride a multiple
+// of 4 elements = 64 bytes) lands on bank 0.
+type Layout struct {
+	DataBase    int64
+	TwiddleBase int64
+	dataLen     int64
+	twiddleLen  int64
+}
+
+// NewLayout lays out n data elements followed by twiddles twiddle
+// elements.
+func NewLayout(cfg Config, n, twiddles int) Layout {
+	round := cfg.InterleaveBytes * int64(cfg.DRAMPorts)
+	dataEnd := int64(n) * ElemBytes
+	twBase := (dataEnd + round - 1) / round * round
+	return Layout{
+		DataBase:    0,
+		TwiddleBase: twBase,
+		dataLen:     int64(n),
+		twiddleLen:  int64(twiddles),
+	}
+}
+
+// DataAddr returns the byte address of data element i.
+func (l Layout) DataAddr(i int64) int64 {
+	if i < 0 || i >= l.dataLen {
+		panic("c64: data index out of range")
+	}
+	return l.DataBase + i*ElemBytes
+}
+
+// TwiddleAddr returns the byte address of twiddle element i.
+func (l Layout) TwiddleAddr(i int64) int64 {
+	if i < 0 || i >= l.twiddleLen {
+		panic("c64: twiddle index out of range")
+	}
+	return l.TwiddleBase + i*ElemBytes
+}
+
+// DataLen returns the number of data elements.
+func (l Layout) DataLen() int64 { return l.dataLen }
+
+// TwiddleLen returns the number of twiddle elements.
+func (l Layout) TwiddleLen() int64 { return l.twiddleLen }

@@ -1,0 +1,210 @@
+package c64
+
+import (
+	"fmt"
+	"math"
+
+	"codeletfft/internal/sim"
+)
+
+// Kind distinguishes loads from stores in traces and statistics.
+type Kind uint8
+
+// Access kinds.
+const (
+	Load Kind = iota
+	Store
+)
+
+func (k Kind) String() string {
+	if k == Load {
+		return "load"
+	}
+	return "store"
+}
+
+// Request describes one contiguous DRAM transfer by starting byte address
+// and length. The machine splits it across interleave blocks internally.
+type Request struct {
+	Addr  int64
+	Bytes int64
+}
+
+// Tracer receives one record per (bank, time window) slice of every DRAM
+// transfer. Package trace provides the standard implementation that bins
+// these into the paper's access-rate time series.
+type Tracer interface {
+	RecordDRAM(bank int, at sim.Time, bytes int64, kind Kind)
+}
+
+// Machine is one simulated C64 node: a shared discrete-event clock, the
+// four DRAM port timelines, and cumulative statistics. It is not safe for
+// concurrent use; the discrete-event model is single-threaded by design.
+type Machine struct {
+	Cfg Config
+	Eng *sim.Engine
+
+	dram   []sim.Timeline
+	sram   sim.Timeline
+	Tracer Tracer
+
+	bankBytes      []int64
+	bankAccesses   []int64
+	openRow        []int64
+	rowHits        []int64
+	rowMisses      []int64
+	loadBytes      int64
+	storeBytes     int64
+	sramLoadBytes  int64
+	sramStoreBytes int64
+	flops          int64
+}
+
+// NewMachine builds a machine from cfg, panicking on invalid
+// configurations (a programming error, not a runtime condition).
+func NewMachine(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		Cfg:          cfg,
+		Eng:          sim.NewEngine(),
+		dram:         make([]sim.Timeline, cfg.DRAMPorts),
+		bankBytes:    make([]int64, cfg.DRAMPorts),
+		bankAccesses: make([]int64, cfg.DRAMPorts),
+		openRow:      make([]int64, cfg.DRAMPorts),
+		rowHits:      make([]int64, cfg.DRAMPorts),
+		rowMisses:    make([]int64, cfg.DRAMPorts),
+	}
+	for i := range m.openRow {
+		m.openRow[i] = -1
+	}
+	return m
+}
+
+// Bank maps a byte address to its DRAM port under round-robin
+// interleaving every Cfg.InterleaveBytes bytes.
+func (m *Machine) Bank(addr int64) int {
+	if addr < 0 {
+		panic(fmt.Sprintf("c64: negative address %d", addr))
+	}
+	return int((addr / m.Cfg.InterleaveBytes) % int64(m.Cfg.DRAMPorts))
+}
+
+// splitBanks accumulates the per-bank byte counts of a request batch into
+// dst (len DRAMPorts), splitting each request at interleave boundaries.
+func (m *Machine) splitBanks(reqs []Request, dst []int64) {
+	il := m.Cfg.InterleaveBytes
+	ports := int64(m.Cfg.DRAMPorts)
+	for _, r := range reqs {
+		if r.Bytes <= 0 {
+			continue
+		}
+		addr, remain := r.Addr, r.Bytes
+		for remain > 0 {
+			block := addr / il
+			bank := block % ports
+			next := (block + 1) * il
+			chunk := next - addr
+			if chunk > remain {
+				chunk = remain
+			}
+			dst[bank] += chunk
+			addr += chunk
+			remain -= chunk
+		}
+	}
+}
+
+// DRAMAccess submits a batch of transfers at time now and returns the time
+// at which the whole batch has completed. Per-bank byte totals queue FIFO
+// on their port timelines at the configured bandwidth after the fixed
+// access latency; banks serve concurrently with each other, so a batch
+// spread across all four ports finishes up to 4x faster than the same
+// bytes aimed at one port — the effect the paper is about.
+func (m *Machine) DRAMAccess(now sim.Time, kind Kind, reqs []Request) sim.Time {
+	var perBank [16]int64
+	banks := perBank[:m.Cfg.DRAMPorts]
+	m.splitBanks(reqs, banks)
+
+	done := now
+	for b, bytes := range banks {
+		if bytes == 0 {
+			continue
+		}
+		service := sim.Time(math.Ceil(float64(bytes) / m.Cfg.DRAMPortBytesPerCycle))
+		start, end := m.dram[b].Acquire(now+m.Cfg.DRAMLatency, service)
+		if end > done {
+			done = end
+		}
+		m.record(b, start, bytes, kind)
+	}
+	return done
+}
+
+// FlopCycles converts a floating-point operation count into TU cycles at
+// the configured per-TU throughput.
+func (m *Machine) FlopCycles(flops int64) sim.Time {
+	if flops <= 0 {
+		return 0
+	}
+	m.flops += flops
+	return sim.Time(math.Ceil(float64(flops) / m.Cfg.FlopsPerCycle))
+}
+
+// HashCycles returns the TU cost of hashing n twiddle addresses whose
+// indices are bits wide, per the software bit-reversal cost model.
+func (m *Machine) HashCycles(n int, bits int) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	per := m.Cfg.HashBase + m.Cfg.HashPerBit*float64(bits)
+	return sim.Time(math.Ceil(per * float64(n)))
+}
+
+// BankBytes returns the cumulative bytes served by each DRAM port.
+func (m *Machine) BankBytes() []int64 {
+	out := make([]int64, len(m.bankBytes))
+	copy(out, m.bankBytes)
+	return out
+}
+
+// BankAccesses returns cumulative 8-byte word accesses per DRAM port.
+func (m *Machine) BankAccesses() []int64 {
+	out := make([]int64, len(m.bankAccesses))
+	copy(out, m.bankAccesses)
+	return out
+}
+
+// BankBusy returns the cycles each DRAM port spent serving requests.
+func (m *Machine) BankBusy() []sim.Time {
+	out := make([]sim.Time, len(m.dram))
+	for i := range m.dram {
+		out[i] = m.dram[i].Busy()
+	}
+	return out
+}
+
+// RowHits and RowMisses return per-bank row-buffer statistics for the
+// asynchronous (burst) access path.
+func (m *Machine) RowHits() []int64   { return append([]int64(nil), m.rowHits...) }
+func (m *Machine) RowMisses() []int64 { return append([]int64(nil), m.rowMisses...) }
+
+// LoadBytes returns the cumulative bytes loaded from DRAM.
+func (m *Machine) LoadBytes() int64 { return m.loadBytes }
+
+// StoreBytes returns the cumulative bytes stored to DRAM.
+func (m *Machine) StoreBytes() int64 { return m.storeBytes }
+
+// Flops returns the cumulative floating-point operations charged.
+func (m *Machine) Flops() int64 { return m.flops }
+
+// GFLOPS converts a flop count over a cycle span into the paper's
+// performance metric.
+func (m *Machine) GFLOPS(flops int64, cycles sim.Time) float64 {
+	secs := m.Cfg.Seconds(cycles)
+	if secs <= 0 {
+		return 0
+	}
+	return float64(flops) / secs / 1e9
+}

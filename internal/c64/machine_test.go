@@ -1,0 +1,290 @@
+package c64
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"codeletfft/internal/sim"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	cfg := Default()
+	if cfg.ThreadUnits != 156 {
+		t.Errorf("ThreadUnits = %d, want 156 (paper reserves 4 of 160 for the OS)", cfg.ThreadUnits)
+	}
+	if cfg.DRAMPorts != 4 {
+		t.Errorf("DRAMPorts = %d, want 4", cfg.DRAMPorts)
+	}
+	if got := cfg.DRAMBandwidth(); got != 16e9 {
+		t.Errorf("DRAMBandwidth = %g, want 16e9 (16 GB/s)", got)
+	}
+	if cfg.InterleaveBytes != 64 {
+		t.Errorf("InterleaveBytes = %d, want 64", cfg.InterleaveBytes)
+	}
+	if cfg.ClockHz != 500e6 {
+		t.Errorf("ClockHz = %g, want 500e6", cfg.ClockHz)
+	}
+}
+
+func TestConfigValidateRejectsBadValues(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.ThreadUnits = 0 },
+		func(c *Config) { c.ClockHz = 0 },
+		func(c *Config) { c.DRAMPorts = 0 },
+		func(c *Config) { c.DRAMPortBytesPerCycle = 0 },
+		func(c *Config) { c.DRAMLatency = -1 },
+		func(c *Config) { c.InterleaveBytes = 0 },
+		func(c *Config) { c.FlopsPerCycle = 0 },
+		func(c *Config) { c.ScratchpadBytes = -1 },
+	}
+	for i, mutate := range cases {
+		cfg := Default()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestBankMapping(t *testing.T) {
+	m := NewMachine(Default())
+	// 64-byte round-robin: addresses 0..63 → bank 0, 64..127 → bank 1, ...
+	cases := []struct {
+		addr int64
+		want int
+	}{
+		{0, 0}, {63, 0}, {64, 1}, {127, 1}, {128, 2}, {192, 3}, {256, 0},
+		{64 * 4 * 1000, 0}, {64*4*1000 + 65, 1},
+	}
+	for _, c := range cases {
+		if got := m.Bank(c.addr); got != c.want {
+			t.Errorf("Bank(%d) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestStride64BytesHitsOneBank(t *testing.T) {
+	// The paper's core observation: a stride of 4 complex elements
+	// (64 bytes) keeps every access on the same bank.
+	m := NewMachine(Default())
+	for i := int64(0); i < 100; i++ {
+		if got := m.Bank(i * 64 * 4); got != 0 {
+			t.Fatalf("Bank(%d) = %d, want 0", i*64*4, got)
+		}
+	}
+}
+
+func TestSplitAcrossInterleaveBoundary(t *testing.T) {
+	m := NewMachine(Default())
+	got := make([]int64, 4)
+	// 100 bytes starting at 32: 32 bytes in bank 0's block, 64 in bank 1,
+	// 4 in bank 2.
+	m.splitBanks([]Request{{Addr: 32, Bytes: 100}}, got)
+	want := []int64{32, 64, 4, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitBanks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDRAMAccessSingleBankSerializes(t *testing.T) {
+	cfg := Default()
+	cfg.DRAMLatency = 0
+	m := NewMachine(cfg)
+	// Two 64-byte transfers to the same bank: 8 cycles each, FIFO.
+	d1 := m.DRAMAccess(0, Load, []Request{{Addr: 0, Bytes: 64}})
+	d2 := m.DRAMAccess(0, Load, []Request{{Addr: 256, Bytes: 64}})
+	if d1 != 8 {
+		t.Fatalf("first transfer done at %d, want 8", d1)
+	}
+	if d2 != 16 {
+		t.Fatalf("second same-bank transfer done at %d, want 16 (queued)", d2)
+	}
+}
+
+func TestDRAMAccessSpreadBanksParallel(t *testing.T) {
+	cfg := Default()
+	cfg.DRAMLatency = 0
+	m := NewMachine(cfg)
+	// 256 bytes spanning all 4 banks complete in the time of one 64-byte
+	// service: the ports run concurrently.
+	done := m.DRAMAccess(0, Load, []Request{{Addr: 0, Bytes: 256}})
+	if done != 8 {
+		t.Fatalf("spread transfer done at %d, want 8", done)
+	}
+}
+
+func TestDRAMLatencyApplied(t *testing.T) {
+	cfg := Default()
+	cfg.DRAMLatency = 50
+	m := NewMachine(cfg)
+	done := m.DRAMAccess(100, Load, []Request{{Addr: 0, Bytes: 8}})
+	if done != 151 {
+		t.Fatalf("done = %d, want 151 (100 + 50 latency + 1 service)", done)
+	}
+}
+
+func TestDRAMStatsAccounting(t *testing.T) {
+	m := NewMachine(Default())
+	m.DRAMAccess(0, Load, []Request{{Addr: 0, Bytes: 64}})
+	m.DRAMAccess(0, Store, []Request{{Addr: 64, Bytes: 32}})
+	bytes := m.BankBytes()
+	if bytes[0] != 64 || bytes[1] != 32 {
+		t.Fatalf("BankBytes = %v, want [64 32 0 0]", bytes)
+	}
+	acc := m.BankAccesses()
+	if acc[0] != 8 || acc[1] != 4 {
+		t.Fatalf("BankAccesses = %v, want [8 4 0 0]", acc)
+	}
+	if m.LoadBytes() != 64 || m.StoreBytes() != 32 {
+		t.Fatalf("load/store bytes = %d/%d, want 64/32", m.LoadBytes(), m.StoreBytes())
+	}
+}
+
+func TestFlopCycles(t *testing.T) {
+	m := NewMachine(Default()) // 1 flop/cycle
+	if got := m.FlopCycles(1920); got != 1920 {
+		t.Fatalf("FlopCycles(1920) = %d, want 1920", got)
+	}
+	if got := m.FlopCycles(0); got != 0 {
+		t.Fatalf("FlopCycles(0) = %d, want 0", got)
+	}
+	if m.Flops() != 1920 {
+		t.Fatalf("Flops() = %d, want 1920", m.Flops())
+	}
+}
+
+func TestHashCyclesGrowsWithBits(t *testing.T) {
+	m := NewMachine(Default())
+	small := m.HashCycles(63, 14)
+	large := m.HashCycles(63, 21)
+	if large <= small {
+		t.Fatalf("hash cost should grow with index width: %d !> %d", large, small)
+	}
+	if m.HashCycles(0, 20) != 0 {
+		t.Fatal("zero accesses should cost nothing")
+	}
+}
+
+func TestGFLOPS(t *testing.T) {
+	m := NewMachine(Default())
+	// 5e9 flops in 1 second (500e6 cycles) = 5 GFLOPS.
+	got := m.GFLOPS(5e9, sim.Time(500e6))
+	if got < 4.999 || got > 5.001 {
+		t.Fatalf("GFLOPS = %v, want 5", got)
+	}
+}
+
+// Property: splitting any request batch conserves bytes and never assigns
+// a byte to a bank other than the one its address maps to.
+func TestSplitConservationProperty(t *testing.T) {
+	m := NewMachine(Default())
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reqs := make([]Request, int(n)%20)
+		var total int64
+		for i := range reqs {
+			reqs[i] = Request{Addr: int64(rng.Intn(1 << 20)), Bytes: int64(rng.Intn(4096))}
+			total += reqs[i].Bytes
+		}
+		got := make([]int64, 4)
+		m.splitBanks(reqs, got)
+		var sum int64
+		for _, b := range got {
+			sum += b
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutTwiddleBaseAligned(t *testing.T) {
+	cfg := Default()
+	l := NewLayout(cfg, 1000, 500)
+	round := cfg.InterleaveBytes * int64(cfg.DRAMPorts)
+	if l.TwiddleBase%round != 0 {
+		t.Fatalf("TwiddleBase %d not aligned to %d", l.TwiddleBase, round)
+	}
+	m := NewMachine(cfg)
+	if m.Bank(l.TwiddleAddr(0)) != 0 {
+		t.Fatal("W[0] must map to bank 0 (the paper's layout)")
+	}
+	// Twiddles at strides that are multiples of 16 elements (one full
+	// interleave round = 256 bytes) all map to bank 0; early FFT stages
+	// use such strides, which is the paper's bank-0 contention.
+	for i := int64(0); i < 500; i += 16 {
+		if m.Bank(l.TwiddleAddr(i)) != 0 {
+			t.Fatalf("W[%d] on bank %d, want 0", i, m.Bank(l.TwiddleAddr(i)))
+		}
+	}
+}
+
+func TestLayoutNoOverlap(t *testing.T) {
+	l := NewLayout(Default(), 1000, 500)
+	if l.TwiddleBase < 1000*ElemBytes {
+		t.Fatal("twiddle array overlaps data array")
+	}
+	if l.DataLen() != 1000 || l.TwiddleLen() != 500 {
+		t.Fatal("lengths not recorded")
+	}
+}
+
+func TestLayoutBoundsPanic(t *testing.T) {
+	l := NewLayout(Default(), 10, 5)
+	for _, fn := range []func(){
+		func() { l.DataAddr(-1) },
+		func() { l.DataAddr(10) },
+		func() { l.TwiddleAddr(-1) },
+		func() { l.TwiddleAddr(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range address did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTwiddleStrideBankSkew(t *testing.T) {
+	// End-to-end restatement of the motivating example: 63 twiddle loads
+	// at stride 512 elements all serialize on bank 0, while the same bytes
+	// at stride 1 spread over all four ports and finish ~4x sooner.
+	cfg := Default()
+	cfg.DRAMLatency = 0
+	l := NewLayout(cfg, 1<<15, 1<<14)
+
+	strided := NewMachine(cfg)
+	var reqs []Request
+	for i := int64(0); i < 63; i++ {
+		reqs = append(reqs, Request{Addr: l.TwiddleAddr(i * 512 % (1 << 14)), Bytes: ElemBytes})
+	}
+	stridedDone := strided.DRAMAccess(0, Load, reqs)
+
+	contig := NewMachine(cfg)
+	reqs = reqs[:0]
+	for i := int64(0); i < 63; i++ {
+		reqs = append(reqs, Request{Addr: l.TwiddleAddr(i), Bytes: ElemBytes})
+	}
+	contigDone := contig.DRAMAccess(0, Load, reqs)
+
+	if stridedDone < 3*contigDone {
+		t.Fatalf("strided %d should be ≥3x contiguous %d", stridedDone, contigDone)
+	}
+	sb := strided.BankBytes()
+	if sb[1] != 0 || sb[2] != 0 || sb[3] != 0 {
+		t.Fatalf("strided accesses leaked off bank 0: %v", sb)
+	}
+}

@@ -1,0 +1,63 @@
+package c64
+
+import (
+	"math"
+
+	"codeletfft/internal/sim"
+)
+
+// SRAMAccess models an on-chip memory access batch: fixed crossbar
+// latency plus service on the shared on-chip bandwidth. The on-chip
+// memory has 160 interleaved banks behind a 96-port crossbar, so unlike
+// the 4 DRAM ports it behaves as one deep, high-bandwidth resource: bank
+// imbalance is not a first-order effect there, which is why the paper's
+// on-chip predecessor study (Chen et al.) focused on register pressure
+// rather than bank balance.
+//
+// Returns the completion time; the whole batch is charged as one
+// transfer on the shared on-chip timeline.
+func (m *Machine) SRAMAccess(now sim.Time, kind Kind, bytes int64) sim.Time {
+	if bytes <= 0 {
+		return now
+	}
+	if m.Cfg.SRAMBytesPerCycle <= 0 {
+		// Unconstrained bandwidth: latency only.
+		m.recordSRAM(kind, bytes)
+		return now + m.Cfg.SRAMLatency
+	}
+	service := sim.Time(math.Ceil(float64(bytes) / m.Cfg.SRAMBytesPerCycle))
+	_, done := m.sram.Acquire(now+m.Cfg.SRAMLatency, service)
+	m.recordSRAM(kind, bytes)
+	return done
+}
+
+func (m *Machine) recordSRAM(kind Kind, bytes int64) {
+	if kind == Load {
+		m.sramLoadBytes += bytes
+	} else {
+		m.sramStoreBytes += bytes
+	}
+}
+
+// SRAMLoadBytes returns cumulative on-chip bytes loaded.
+func (m *Machine) SRAMLoadBytes() int64 { return m.sramLoadBytes }
+
+// SRAMStoreBytes returns cumulative on-chip bytes stored.
+func (m *Machine) SRAMStoreBytes() int64 { return m.sramStoreBytes }
+
+// SRAMBusy returns the cycles the on-chip memory spent serving requests.
+func (m *Machine) SRAMBusy() sim.Time { return m.sram.Busy() }
+
+// RegisterSpillCycles models the register-pressure cost of a P-point
+// on-chip kernel: a working set of 2P+(P−1) 64-bit words (P complex
+// points in registers plus P−1 twiddles, each a register pair... the
+// dominant term is the 3P complex values) beyond RegistersPerTU spills
+// to scratchpad at SpillMoveCycles per word moved, twice (out and back).
+func (m *Machine) RegisterSpillCycles(taskPoints, twiddles int) sim.Time {
+	words := 2*taskPoints + 2*twiddles // complex128 = 2 registers each
+	over := words - m.Cfg.RegistersPerTU
+	if over <= 0 {
+		return 0
+	}
+	return sim.Time(math.Ceil(2 * m.Cfg.SpillMoveCycles * float64(over)))
+}

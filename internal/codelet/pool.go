@@ -1,0 +1,90 @@
+// Package codelet implements the runtime side of the codelet program
+// execution model (Zuckerman et al.) as used by the paper: codelets are
+// non-preemptive units of work whose firing is gated by dependence
+// counters, drawn by thread units from a shared ready pool.
+//
+// The package is generic over what a codelet does: executors and
+// completion handlers are injected, and all simulated overheads (pool
+// lock serialization, counter updates, barriers) are charged on the
+// shared discrete-event clock. Package core instantiates it with the FFT
+// task graph on the Cyclops-64 machine model.
+package codelet
+
+import "fmt"
+
+// Ref identifies one codelet as (stage, index within stage).
+type Ref struct {
+	Stage int32
+	Index int32
+}
+
+func (r Ref) String() string { return fmt.Sprintf("(%d,%d)", r.Stage, r.Index) }
+
+// Discipline selects the service order of the ready pool. The paper's
+// guided algorithm prescribes a concurrent LIFO pool; FIFO yields
+// breadth-first (stage-by-stage) progression, which is the degenerate
+// order that behaves like the coarse-grain algorithm.
+type Discipline uint8
+
+// Pool service orders.
+const (
+	FIFO Discipline = iota
+	LIFO
+)
+
+func (d Discipline) String() string {
+	if d == FIFO {
+		return "fifo"
+	}
+	return "lifo"
+}
+
+// Pool is a deterministic ready-codelet pool. The discrete-event model is
+// single-threaded, so the pool is a plain container; the cost and
+// serialization of concurrent access are modeled separately by the
+// runtime's lock timeline.
+type Pool struct {
+	d     Discipline
+	items []Ref
+	head  int
+}
+
+// NewPool returns an empty pool with the given discipline.
+func NewPool(d Discipline) *Pool { return &Pool{d: d} }
+
+// Discipline returns the pool's service order.
+func (p *Pool) Discipline() Discipline { return p.d }
+
+// Len returns the number of ready codelets.
+func (p *Pool) Len() int { return len(p.items) - p.head }
+
+// Push appends a ready codelet.
+func (p *Pool) Push(r Ref) { p.items = append(p.items, r) }
+
+// PushAll appends a batch in order.
+func (p *Pool) PushAll(rs []Ref) { p.items = append(p.items, rs...) }
+
+// Pop removes the next codelet according to the discipline.
+func (p *Pool) Pop() (Ref, bool) {
+	if p.Len() == 0 {
+		return Ref{}, false
+	}
+	if p.d == LIFO {
+		r := p.items[len(p.items)-1]
+		p.items = p.items[:len(p.items)-1]
+		return r, true
+	}
+	r := p.items[p.head]
+	p.head++
+	if p.head > 1024 && p.head*2 > len(p.items) {
+		p.items = append(p.items[:0], p.items[p.head:]...)
+		p.head = 0
+	}
+	return r, true
+}
+
+// Reset empties the pool.
+func (p *Pool) Reset() {
+	p.items = p.items[:0]
+	p.head = 0
+}

@@ -1,0 +1,192 @@
+package codelet
+
+import (
+	"fmt"
+
+	"codeletfft/internal/sim"
+)
+
+// Executor performs one codelet on a thread unit, anchored at start, and
+// calls finish exactly once with the completion time. Implementations
+// charge compute and memory time against the machine model; multi-phase
+// executors (load → compute → store) schedule engine events between
+// phases so that resource requests reach shared timelines in causal
+// order, and call finish from the last phase. finish may be called
+// synchronously.
+type Executor func(tu int, ref Ref, start sim.Time, finish func(done sim.Time))
+
+// OnComplete is invoked when a codelet finishes. It must update dependence
+// counters, call emit for every codelet that became ready, and return the
+// number of counter updates performed (each is charged CounterUpdate
+// cycles). A nil handler means codelets have no successors.
+type OnComplete func(ref Ref, emit func(Ref)) (updates int)
+
+// Config holds the runtime's overhead parameters in cycles.
+type Config struct {
+	Threads       int
+	PoolAccess    sim.Time // per pool push/pop, serialized on the pool lock
+	CounterUpdate sim.Time // per dependence-counter update
+}
+
+// Stats aggregates what the runtime observed during one or more phases.
+type Stats struct {
+	Executed       int64
+	CounterUpdates int64
+	PoolOps        int64
+	IdleWakeups    int64
+	LockWait       sim.Time // cycles TUs spent queued on the pool lock
+}
+
+// Runtime drives simulated thread units over a ready pool. One Runtime
+// may run several phases (the guided algorithm's two steps, or the
+// coarse algorithm's one phase per FFT stage) separated by barriers; the
+// engine clock carries across phases.
+type Runtime struct {
+	Eng  *sim.Engine
+	Cfg  Config
+	Pool *Pool
+
+	Exec     Executor
+	Complete OnComplete
+
+	lock    sim.Timeline
+	idle    []int
+	active  int
+	stats   Stats
+	started bool
+	emitBuf []Ref
+}
+
+// NewRuntime wires a runtime. The pool starts empty.
+func NewRuntime(eng *sim.Engine, cfg Config, d Discipline, exec Executor, complete OnComplete) *Runtime {
+	if cfg.Threads <= 0 {
+		panic(fmt.Sprintf("codelet: Threads = %d", cfg.Threads))
+	}
+	return &Runtime{Eng: eng, Cfg: cfg, Pool: NewPool(d), Exec: exec, Complete: complete}
+}
+
+// Stats returns cumulative counters across all phases run so far.
+func (r *Runtime) Stats() Stats { return r.stats }
+
+// RunPhase seeds the pool with seed (in order), releases every thread
+// unit, and runs the engine until the pool drains and all TUs are idle.
+// It returns the phase completion time. Seeding is charged as a
+// sequential pass (the paper executes the seeding loops sequentially
+// because they take insignificant time).
+func (r *Runtime) RunPhase(seed []Ref) sim.Time {
+	if r.started {
+		panic("codelet: RunPhase re-entered")
+	}
+	r.started = true
+	defer func() { r.started = false }()
+
+	r.Pool.PushAll(seed)
+	r.stats.PoolOps += int64(len(seed))
+	start := r.Eng.Now() + sim.Time(len(seed))*r.Cfg.PoolAccess
+
+	r.idle = r.idle[:0]
+	r.active = r.Cfg.Threads
+	for tu := 0; tu < r.Cfg.Threads; tu++ {
+		tu := tu
+		r.Eng.ScheduleAt(start, func(now sim.Time) { r.dispatch(tu, now) })
+	}
+	return r.Eng.Run()
+}
+
+// RunPhaseStatic executes the tasks with a static cyclic partition: TU j
+// runs seed[j], seed[j+Threads], ... serially, with no shared pool and no
+// dynamic balancing. This is the coarse-grain parallel-for baseline
+// (Alg. 1 of the paper, the SPMD idiom where each thread walks
+// t_id = thread + k·nthreads): there is no pool-lock overhead, but a
+// thread that drew expensive tasks straggles and the stage barrier makes
+// everyone wait for it.
+func (r *Runtime) RunPhaseStatic(seed []Ref) sim.Time {
+	if r.started {
+		panic("codelet: RunPhaseStatic re-entered")
+	}
+	r.started = true
+	defer func() { r.started = false }()
+
+	start := r.Eng.Now()
+	var chain func(tu int, k int) func(sim.Time)
+	chain = func(tu, k int) func(sim.Time) {
+		return func(now sim.Time) {
+			if k >= len(seed) {
+				return
+			}
+			r.Exec(tu, seed[k], now, func(done sim.Time) {
+				if done < now {
+					panic("codelet: executor completed before it started")
+				}
+				r.stats.Executed++
+				r.Eng.ScheduleAt(done, chain(tu, k+r.Cfg.Threads))
+			})
+		}
+	}
+	for tu := 0; tu < r.Cfg.Threads && tu < len(seed); tu++ {
+		r.Eng.ScheduleAt(start, chain(tu, tu))
+	}
+	return r.Eng.Run()
+}
+
+// Barrier advances the clock by the hardware-barrier cost after a phase.
+// The straggler wait — the dominant cost of coarse-grain synchronization
+// — is already part of the phase completion time.
+func (r *Runtime) Barrier(cost sim.Time) {
+	r.Eng.ScheduleAt(r.Eng.Now()+cost, func(sim.Time) {})
+	r.Eng.Run()
+}
+
+// dispatch has TU tu attempt to draw work at time now.
+func (r *Runtime) dispatch(tu int, now sim.Time) {
+	ref, ok := r.Pool.Pop()
+	if !ok {
+		r.idle = append(r.idle, tu)
+		r.active--
+		return
+	}
+	// Drawing from the pool serializes on the pool lock.
+	_, popDone := r.lock.Acquire(now, r.Cfg.PoolAccess)
+	r.stats.PoolOps++
+	r.stats.LockWait += popDone - now - r.Cfg.PoolAccess
+
+	r.Exec(tu, ref, popDone, func(done sim.Time) {
+		if done < popDone {
+			panic("codelet: executor completed before it started")
+		}
+		r.Eng.ScheduleAt(done, func(at sim.Time) { r.complete(tu, ref, at) })
+	})
+}
+
+// complete processes the completion of ref on TU tu: counter updates,
+// pushing newly ready codelets, waking idle TUs, and redispatching.
+func (r *Runtime) complete(tu int, ref Ref, now sim.Time) {
+	r.stats.Executed++
+	t := now
+	if r.Complete != nil {
+		r.emitBuf = r.emitBuf[:0]
+		updates := r.Complete(ref, func(child Ref) { r.emitBuf = append(r.emitBuf, child) })
+		r.stats.CounterUpdates += int64(updates)
+		t += sim.Time(updates) * r.Cfg.CounterUpdate
+		if len(r.emitBuf) > 0 {
+			_, pushDone := r.lock.Acquire(t, sim.Time(len(r.emitBuf))*r.Cfg.PoolAccess)
+			r.stats.PoolOps += int64(len(r.emitBuf))
+			r.Pool.PushAll(r.emitBuf)
+			t = pushDone
+			r.wakeIdle(len(r.emitBuf), t)
+		}
+	}
+	r.Eng.ScheduleAt(t, func(at sim.Time) { r.dispatch(tu, at) })
+}
+
+// wakeIdle releases up to n idle TUs at time t.
+func (r *Runtime) wakeIdle(n int, t sim.Time) {
+	for n > 0 && len(r.idle) > 0 {
+		tu := r.idle[len(r.idle)-1]
+		r.idle = r.idle[:len(r.idle)-1]
+		r.active++
+		r.stats.IdleWakeups++
+		r.Eng.ScheduleAt(t, func(at sim.Time) { r.dispatch(tu, at) })
+		n--
+	}
+}

@@ -1,0 +1,290 @@
+package codelet
+
+import (
+	"testing"
+
+	"codeletfft/internal/sim"
+)
+
+func TestPoolFIFO(t *testing.T) {
+	p := NewPool(FIFO)
+	for i := int32(0); i < 5; i++ {
+		p.Push(Ref{0, i})
+	}
+	for i := int32(0); i < 5; i++ {
+		r, ok := p.Pop()
+		if !ok || r.Index != i {
+			t.Fatalf("FIFO pop %d = %v,%v", i, r, ok)
+		}
+	}
+	if _, ok := p.Pop(); ok {
+		t.Fatal("pop from empty pool succeeded")
+	}
+}
+
+func TestPoolLIFO(t *testing.T) {
+	p := NewPool(LIFO)
+	for i := int32(0); i < 5; i++ {
+		p.Push(Ref{0, i})
+	}
+	for i := int32(4); i >= 0; i-- {
+		r, ok := p.Pop()
+		if !ok || r.Index != i {
+			t.Fatalf("LIFO pop = %v,%v want index %d", r, ok, i)
+		}
+	}
+}
+
+func TestPoolFIFOCompaction(t *testing.T) {
+	p := NewPool(FIFO)
+	for round := 0; round < 5; round++ {
+		for i := int32(0); i < 2000; i++ {
+			p.Push(Ref{int32(round), i})
+		}
+		for i := int32(0); i < 2000; i++ {
+			r, ok := p.Pop()
+			if !ok || r.Index != i || r.Stage != int32(round) {
+				t.Fatalf("round %d pop %d = %v", round, i, r)
+			}
+		}
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", p.Len())
+	}
+}
+
+func TestPoolMixedPushPop(t *testing.T) {
+	p := NewPool(FIFO)
+	p.PushAll([]Ref{{0, 0}, {0, 1}})
+	p.Pop()
+	p.Push(Ref{0, 2})
+	want := []int32{1, 2}
+	for _, w := range want {
+		r, _ := p.Pop()
+		if r.Index != w {
+			t.Fatalf("got %d, want %d", r.Index, w)
+		}
+	}
+}
+
+// fixedExec returns an executor that takes a constant number of cycles.
+func fixedExec(cost sim.Time, log *[]Ref) Executor {
+	return func(tu int, ref Ref, start sim.Time, finish func(sim.Time)) {
+		if log != nil {
+			*log = append(*log, ref)
+		}
+		finish(start + cost)
+	}
+}
+
+func TestRuntimeIndependentTasksParallelize(t *testing.T) {
+	// 8 independent 100-cycle tasks on 4 TUs with no overheads: two
+	// waves, makespan 200.
+	eng := sim.NewEngine()
+	rt := NewRuntime(eng, Config{Threads: 4}, FIFO, fixedExec(100, nil), nil)
+	seed := make([]Ref, 8)
+	for i := range seed {
+		seed[i] = Ref{0, int32(i)}
+	}
+	end := rt.RunPhase(seed)
+	if end != 200 {
+		t.Fatalf("makespan = %d, want 200", end)
+	}
+	if rt.Stats().Executed != 8 {
+		t.Fatalf("executed = %d, want 8", rt.Stats().Executed)
+	}
+}
+
+func TestRuntimeSingleThreadSerializes(t *testing.T) {
+	eng := sim.NewEngine()
+	var order []Ref
+	rt := NewRuntime(eng, Config{Threads: 1}, FIFO, fixedExec(10, &order), nil)
+	end := rt.RunPhase([]Ref{{0, 0}, {0, 1}, {0, 2}})
+	if end != 30 {
+		t.Fatalf("makespan = %d, want 30", end)
+	}
+	for i, r := range order {
+		if r.Index != int32(i) {
+			t.Fatalf("FIFO order violated: %v", order)
+		}
+	}
+}
+
+func TestRuntimeLIFOOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	var order []Ref
+	rt := NewRuntime(eng, Config{Threads: 1}, LIFO, fixedExec(10, &order), nil)
+	rt.RunPhase([]Ref{{0, 0}, {0, 1}, {0, 2}})
+	want := []int32{2, 1, 0}
+	for i, r := range order {
+		if r.Index != want[i] {
+			t.Fatalf("LIFO order violated: %v", order)
+		}
+	}
+}
+
+// chainComplete builds a linear dependence chain of length n: each
+// codelet's completion readies the next.
+func chainComplete(n int32) OnComplete {
+	return func(ref Ref, emit func(Ref)) int {
+		if ref.Index+1 < n {
+			emit(Ref{0, ref.Index + 1})
+		}
+		return 1
+	}
+}
+
+func TestRuntimeDependenceChain(t *testing.T) {
+	// A chain cannot parallelize: 5 tasks × 10 cycles regardless of TUs.
+	eng := sim.NewEngine()
+	rt := NewRuntime(eng, Config{Threads: 8}, FIFO, fixedExec(10, nil), chainComplete(5))
+	end := rt.RunPhase([]Ref{{0, 0}})
+	if end != 50 {
+		t.Fatalf("chain makespan = %d, want 50", end)
+	}
+	if rt.Stats().Executed != 5 {
+		t.Fatalf("executed = %d, want 5", rt.Stats().Executed)
+	}
+	// Idle TUs must have been woken to steal the successors (at least
+	// one wakeup happens since all TUs go idle while the chain runs).
+	if rt.Stats().IdleWakeups == 0 {
+		t.Fatal("no idle wakeups recorded on a dependence chain")
+	}
+}
+
+func TestRuntimeFanInCounter(t *testing.T) {
+	// Diamond: two roots fan into one child gated by a counter of 2.
+	eng := sim.NewEngine()
+	var order []Ref
+	count := 0
+	complete := func(ref Ref, emit func(Ref)) int {
+		if ref.Stage == 0 {
+			count++
+			if count == 2 {
+				emit(Ref{1, 0})
+			}
+			return 1
+		}
+		return 0
+	}
+	rt := NewRuntime(eng, Config{Threads: 2}, FIFO, fixedExec(10, &order), complete)
+	end := rt.RunPhase([]Ref{{0, 0}, {0, 1}})
+	if end != 20 {
+		t.Fatalf("diamond makespan = %d, want 20", end)
+	}
+	if len(order) != 3 || order[2].Stage != 1 {
+		t.Fatalf("child did not run last: %v", order)
+	}
+}
+
+func TestRuntimeOverheadAccounting(t *testing.T) {
+	// One TU, two independent tasks, PoolAccess 5: seeding charges 2×5,
+	// then each dispatch pops with a 5-cycle lock hold.
+	eng := sim.NewEngine()
+	rt := NewRuntime(eng, Config{Threads: 1, PoolAccess: 5}, FIFO, fixedExec(10, nil), nil)
+	end := rt.RunPhase([]Ref{{0, 0}, {0, 1}})
+	// t=10 seed; pop done 15, exec done 25; pop done 30, exec done 40.
+	if end != 40 {
+		t.Fatalf("makespan = %d, want 40", end)
+	}
+	if rt.Stats().PoolOps != 4 {
+		t.Fatalf("pool ops = %d, want 4", rt.Stats().PoolOps)
+	}
+}
+
+func TestRuntimeCounterUpdateCost(t *testing.T) {
+	eng := sim.NewEngine()
+	complete := func(ref Ref, emit func(Ref)) int { return 3 }
+	rt := NewRuntime(eng, Config{Threads: 1, CounterUpdate: 7}, FIFO, fixedExec(10, nil), complete)
+	end := rt.RunPhase([]Ref{{0, 0}})
+	// exec done at 10, +3×7 counter updates → TU redispatches at 31,
+	// finds nothing; engine ends at 31.
+	if end != 31 {
+		t.Fatalf("makespan = %d, want 31", end)
+	}
+	if rt.Stats().CounterUpdates != 3 {
+		t.Fatalf("counter updates = %d, want 3", rt.Stats().CounterUpdates)
+	}
+}
+
+func TestRuntimePoolLockSerializes(t *testing.T) {
+	// 4 TUs popping simultaneously with PoolAccess 10 serialize on the
+	// lock: pops complete at 10,20,30,40, each exec takes 100.
+	eng := sim.NewEngine()
+	rt := NewRuntime(eng, Config{Threads: 4, PoolAccess: 10}, FIFO, fixedExec(100, nil), nil)
+	seed := []Ref{{0, 0}, {0, 1}, {0, 2}, {0, 3}}
+	end := rt.RunPhase(seed)
+	// Seeding: 4×10 = 40. Lock grants at 50,60,70,80; exec ends 150..180.
+	if end != 180 {
+		t.Fatalf("makespan = %d, want 180", end)
+	}
+	if rt.Stats().LockWait == 0 {
+		t.Fatal("expected nonzero lock wait")
+	}
+}
+
+func TestRuntimeBarrierAdvancesClock(t *testing.T) {
+	eng := sim.NewEngine()
+	rt := NewRuntime(eng, Config{Threads: 2}, FIFO, fixedExec(10, nil), nil)
+	rt.RunPhase([]Ref{{0, 0}})
+	before := eng.Now()
+	rt.Barrier(128)
+	if eng.Now() != before+128 {
+		t.Fatalf("barrier advanced to %d, want %d", eng.Now(), before+128)
+	}
+	// A second phase resumes after the barrier.
+	end := rt.RunPhase([]Ref{{1, 0}})
+	if end < before+128+10 {
+		t.Fatalf("second phase ended at %d, too early", end)
+	}
+}
+
+func TestRuntimeDeterminism(t *testing.T) {
+	run := func() (sim.Time, []Ref) {
+		eng := sim.NewEngine()
+		var order []Ref
+		n := int32(200)
+		complete := func(ref Ref, emit func(Ref)) int {
+			if ref.Stage == 0 && ref.Index%2 == 0 && ref.Index+1 < n {
+				emit(Ref{1, ref.Index})
+			}
+			return 1
+		}
+		exec := func(tu int, ref Ref, start sim.Time, finish func(sim.Time)) {
+			finish(start + sim.Time(13+ref.Index%7))
+		}
+		rt := NewRuntime(eng, Config{Threads: 16, PoolAccess: 2, CounterUpdate: 1}, LIFO, exec, complete)
+		seed := make([]Ref, n)
+		for i := range seed {
+			seed[i] = Ref{0, int32(i)}
+		}
+		end := rt.RunPhase(seed)
+		return end, order
+	}
+	e1, _ := run()
+	e2, _ := run()
+	if e1 != e2 {
+		t.Fatalf("nondeterministic makespan: %d vs %d", e1, e2)
+	}
+}
+
+func TestRuntimeRejectsZeroThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero threads accepted")
+		}
+	}()
+	NewRuntime(sim.NewEngine(), Config{}, FIFO, nil, nil)
+}
+
+func TestRuntimeExecutorTimeTravelPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	bad := func(tu int, ref Ref, start sim.Time, finish func(sim.Time)) { finish(start - 1) }
+	rt := NewRuntime(eng, Config{Threads: 1}, FIFO, bad, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("executor finishing before start not caught")
+		}
+	}()
+	rt.RunPhase([]Ref{{0, 0}})
+}

@@ -1,0 +1,93 @@
+package codelet
+
+import (
+	"testing"
+
+	"codeletfft/internal/sim"
+)
+
+func TestStaticCyclicAssignment(t *testing.T) {
+	eng := sim.NewEngine()
+	got := make(map[int][]int32) // tu -> task indices in execution order
+	exec := func(tu int, ref Ref, start sim.Time, finish func(sim.Time)) {
+		got[tu] = append(got[tu], ref.Index)
+		finish(start + 10)
+	}
+	rt := NewRuntime(eng, Config{Threads: 3}, FIFO, exec, nil)
+	seed := make([]Ref, 8)
+	for i := range seed {
+		seed[i] = Ref{0, int32(i)}
+	}
+	end := rt.RunPhaseStatic(seed)
+	// TU0: 0,3,6; TU1: 1,4,7; TU2: 2,5. Makespan = 3 waves × 10.
+	if end != 30 {
+		t.Fatalf("makespan = %d, want 30", end)
+	}
+	want := map[int][]int32{0: {0, 3, 6}, 1: {1, 4, 7}, 2: {2, 5}}
+	for tu, tasks := range want {
+		if len(got[tu]) != len(tasks) {
+			t.Fatalf("TU%d ran %v, want %v", tu, got[tu], tasks)
+		}
+		for i := range tasks {
+			if got[tu][i] != tasks[i] {
+				t.Fatalf("TU%d ran %v, want %v", tu, got[tu], tasks)
+			}
+		}
+	}
+	if rt.Stats().Executed != 8 {
+		t.Fatalf("executed = %d", rt.Stats().Executed)
+	}
+}
+
+func TestStaticStragglerDominatesMakespan(t *testing.T) {
+	// One expensive task on TU0's chain stretches the whole phase even
+	// though the other TU idles — the imbalance a dynamic pool absorbs.
+	eng := sim.NewEngine()
+	exec := func(tu int, ref Ref, start sim.Time, finish func(sim.Time)) {
+		cost := sim.Time(10)
+		if ref.Index == 0 {
+			cost = 100
+		}
+		finish(start + cost)
+	}
+	rt := NewRuntime(eng, Config{Threads: 2}, FIFO, exec, nil)
+	end := rt.RunPhaseStatic([]Ref{{0, 0}, {0, 1}, {0, 2}, {0, 3}})
+	// TU0: 100+10; TU1: 10+10. Makespan 110.
+	if end != 110 {
+		t.Fatalf("static makespan = %d, want 110", end)
+	}
+
+	// The dynamic pool balances the same tasks: TU1 takes the slack.
+	eng2 := sim.NewEngine()
+	rt2 := NewRuntime(eng2, Config{Threads: 2}, FIFO, exec, nil)
+	end2 := rt2.RunPhase([]Ref{{0, 0}, {0, 1}, {0, 2}, {0, 3}})
+	if end2 >= end {
+		t.Fatalf("dynamic (%d) should beat static (%d) under imbalance", end2, end)
+	}
+}
+
+func TestStaticNoPoolOps(t *testing.T) {
+	eng := sim.NewEngine()
+	rt := NewRuntime(eng, Config{Threads: 2, PoolAccess: 50}, FIFO, fixedExec(10, nil), nil)
+	rt.RunPhaseStatic([]Ref{{0, 0}, {0, 1}})
+	if rt.Stats().PoolOps != 0 {
+		t.Fatalf("static execution performed %d pool ops", rt.Stats().PoolOps)
+	}
+}
+
+func TestStaticFewerTasksThanThreads(t *testing.T) {
+	eng := sim.NewEngine()
+	rt := NewRuntime(eng, Config{Threads: 8}, FIFO, fixedExec(10, nil), nil)
+	end := rt.RunPhaseStatic([]Ref{{0, 0}})
+	if end != 10 || rt.Stats().Executed != 1 {
+		t.Fatalf("end=%d executed=%d", end, rt.Stats().Executed)
+	}
+}
+
+func TestStaticEmptySeed(t *testing.T) {
+	eng := sim.NewEngine()
+	rt := NewRuntime(eng, Config{Threads: 4}, FIFO, fixedExec(10, nil), nil)
+	if end := rt.RunPhaseStatic(nil); end != 0 {
+		t.Fatalf("empty static phase ended at %d", end)
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"codeletfft/internal/c64"
+	"codeletfft/internal/codelet"
+	"codeletfft/internal/fft"
+	"codeletfft/internal/sim"
+)
+
+// tuScratch is one thread unit's private working buffers — the model of
+// its scratchpad contents.
+type tuScratch struct {
+	sc   *fft.Scratch
+	reqs []c64.Request
+
+	// batchOffset/batchStride map the running codelet's plan-local
+	// element index g to the global array index offset + g·stride.
+	// Per-TU state: a TU runs one codelet at a time, but codelets from
+	// different batches (2-D rows/columns) are in flight concurrently.
+	batchOffset int64
+	batchStride int64
+}
+
+// executor simulates FFT codelets on the machine: it issues the task's
+// DRAM loads, charges butterfly compute (and hash cost in the hashed
+// variants), issues the stores, and — when numerics are on — actually
+// performs the arithmetic on the host arrays so the output can be
+// verified.
+type executor struct {
+	m      *c64.Machine
+	pl     *fft.Plan
+	layout c64.Layout
+
+	data []complex128 // nil when SkipNumerics
+	w    []complex128 // twiddle table (hashed layout in hash variants)
+
+	hashed    bool
+	hashWidth int
+
+	spillBytes int64 // per-codelet scratchpad overflow, 0 if none
+	spillBase  int64
+	onChip     bool
+
+	skipNumerics bool
+	perTU        []tuScratch
+}
+
+func newExecutor(opts *Options, m *c64.Machine, pl *fft.Plan, data, w []complex128) *executor {
+	e := &executor{
+		m:      m,
+		pl:     pl,
+		layout: c64.NewLayout(m.Cfg, pl.N, pl.N/2),
+
+		data:         data,
+		w:            w,
+		hashed:       opts.Variant.Hashed(),
+		hashWidth:    fft.Log2(pl.N / 2),
+		onChip:       opts.Placement == OnChip,
+		skipNumerics: opts.SkipNumerics,
+		perTU:        make([]tuScratch, opts.Threads),
+	}
+	// Working set per codelet: P data points and up to P−1 twiddles.
+	// Off-chip codelets stage it in the scratchpad and spill to DRAM
+	// beyond capacity; on-chip codelets keep it in registers and pay the
+	// register-pressure model instead.
+	working := int64(pl.P+pl.P-1) * c64.ElemBytes
+	if !e.onChip && working > m.Cfg.ScratchpadBytes {
+		e.spillBytes = working - m.Cfg.ScratchpadBytes
+		// Spill buffers live past the twiddle table, one region per TU,
+		// contiguous and therefore spread evenly over the banks.
+		round := m.Cfg.InterleaveBytes * int64(m.Cfg.DRAMPorts)
+		end := e.layout.TwiddleBase + int64(pl.N/2)*c64.ElemBytes
+		e.spillBase = (end + round - 1) / round * round
+	}
+	for i := range e.perTU {
+		e.perTU[i] = tuScratch{
+			sc:          fft.NewScratch(pl),
+			reqs:        make([]c64.Request, 0, 2*pl.P),
+			batchStride: 1,
+		}
+	}
+	return e
+}
+
+// mapIdx converts a plan-local element index to the global array index
+// of the codelet currently running on tu.
+func (e *executor) mapIdx(tu int, g int64) int64 {
+	s := &e.perTU[tu]
+	return s.batchOffset + g*s.batchStride
+}
+
+// setBatch points tu's next codelet at batch coordinates (offset, stride).
+func (e *executor) setBatch(tu int, offset, stride int64) {
+	e.perTU[tu].batchOffset = offset
+	e.perTU[tu].batchStride = stride
+}
+
+// twiddleAt maps a twiddle index to its storage slot (bit-reversed in the
+// hash variants, per section IV-B).
+func (e *executor) twiddleAt(idx int64) int64 {
+	if !e.hashed {
+		return idx
+	}
+	return fft.BitReverse(idx, e.hashWidth)
+}
+
+// Execute runs one butterfly codelet: it is the codelet.Executor for all
+// five algorithm variants. The codelet's load, compute and store phases
+// are separated by engine events so bank requests from concurrent thread
+// units reach the port timelines in causal order — issuing the store at
+// pop time would reserve the ports across the whole compute phase and
+// falsely serialize independent codelets.
+func (e *executor) Execute(tu int, ref codelet.Ref, start sim.Time, finish func(sim.Time)) {
+	stage, task := int(ref.Stage), int(ref.Index)
+	s := &e.perTU[tu]
+	sc := s.sc
+
+	e.pl.TaskIndices(stage, task, sc.Idx)
+	ntw := e.pl.TaskTwiddleIndices(stage, task, sc.TwIdx)
+
+	// Kernel overhead (loop control, address arithmetic) plus the
+	// per-access hash cost when twiddle addresses are randomized.
+	t := start + e.overheadCycles()
+	if e.hashed {
+		t += e.m.HashCycles(ntw, e.hashWidth)
+	}
+
+	if e.onChip {
+		bytes := int64(e.pl.P+ntw) * c64.ElemBytes
+		done := e.m.SRAMAccess(t, c64.Load, bytes)
+		e.m.Eng.ScheduleAt(done, func(now sim.Time) {
+			e.computePhase(tu, stage, task, ntw, now, finish)
+		})
+		return
+	}
+
+	// Load phase: P data elements plus the distinct twiddles.
+	s.reqs = s.reqs[:0]
+	for _, g := range sc.Idx {
+		s.reqs = append(s.reqs, c64.Request{Addr: e.layout.DataAddr(e.mapIdx(tu, g)), Bytes: c64.ElemBytes})
+	}
+	for i := 0; i < ntw; i++ {
+		addr := e.layout.TwiddleAddr(e.twiddleAt(sc.TwIdx[i]))
+		s.reqs = append(s.reqs, c64.Request{Addr: addr, Bytes: c64.ElemBytes})
+	}
+	e.m.DRAMAccessAsync(t, c64.Load, s.reqs, func(now sim.Time) {
+		e.spillPhase(tu, stage, task, ntw, now, finish)
+	})
+}
+
+// overheadCycles is the per-codelet loop/address-arithmetic cost.
+func (e *executor) overheadCycles() sim.Time {
+	return e.m.Cfg.KernelOverhead +
+		sim.Time(e.m.Cfg.KernelOverheadPerPoint*float64(e.pl.P))
+}
+
+// spillPhase writes out and reads back the scratchpad overflow (if any)
+// around the compute phase, then hands off to computePhase.
+func (e *executor) spillPhase(tu, stage, task, ntw int, now sim.Time, finish func(sim.Time)) {
+	if e.spillBytes == 0 {
+		e.computePhase(tu, stage, task, ntw, now, finish)
+		return
+	}
+	base := e.spillBase + int64(tu)*e.spillBytes
+	spill := []c64.Request{{Addr: base, Bytes: e.spillBytes}}
+	e.m.DRAMAccessAsync(now, c64.Store, spill, func(t sim.Time) {
+		e.m.DRAMAccessAsync(t, c64.Load, spill, func(t2 sim.Time) {
+			e.computePhase(tu, stage, task, ntw, t2, finish)
+		})
+	})
+}
+
+// computePhase charges (and, with numerics on, performs) the butterfly
+// arithmetic, then schedules the store issue at compute completion.
+func (e *executor) computePhase(tu, stage, task, ntw int, now sim.Time, finish func(sim.Time)) {
+	sc := e.perTU[tu].sc
+	var flops int64
+	if e.skipNumerics {
+		flops = e.pl.TaskFlops(stage)
+	} else {
+		for i, g := range sc.Idx {
+			sc.Buf[i] = e.data[e.mapIdx(tu, g)]
+		}
+		for i := 0; i < ntw; i++ {
+			sc.Tw[i] = e.w[e.twiddleAt(sc.TwIdx[i])]
+		}
+		flops = fft.TaskButterflies(sc.Buf[:e.pl.P], sc.Tw[:ntw], e.pl.Levels(stage))
+		for i, g := range sc.Idx {
+			e.data[e.mapIdx(tu, g)] = sc.Buf[i]
+		}
+	}
+	done := now + e.m.FlopCycles(flops)
+	if e.onChip {
+		// Register pressure: working sets beyond the register file move
+		// through the scratchpad (section III-B's constraint).
+		done += e.m.RegisterSpillCycles(e.pl.P, ntw)
+		e.m.Eng.ScheduleAt(done, func(at sim.Time) {
+			finish(e.m.SRAMAccess(at, c64.Store, int64(e.pl.P)*c64.ElemBytes))
+		})
+		return
+	}
+	e.m.Eng.ScheduleAt(done, func(at sim.Time) { e.storePhase(tu, at, finish) })
+}
+
+// storePhase issues the in-place stores of the task's P elements. The TU
+// scratch still holds this codelet's indices — a TU runs one codelet at a
+// time, and the next dispatch happens only after finish.
+func (e *executor) storePhase(tu int, now sim.Time, finish func(sim.Time)) {
+	s := &e.perTU[tu]
+	s.reqs = s.reqs[:0]
+	for _, g := range s.sc.Idx {
+		s.reqs = append(s.reqs, c64.Request{Addr: e.layout.DataAddr(e.mapIdx(tu, g)), Bytes: c64.ElemBytes})
+	}
+	e.m.DRAMAccessAsync(now, c64.Store, s.reqs, finish)
+}
+
+// bitrevExecutor simulates the parallel bit-reversal permutation pass
+// that precedes every variant (performed once, with chunks of P indices
+// per task). Each task swaps the elements of its chunk whose reversed
+// index is larger, loading and storing both sides of each swap.
+type bitrevExecutor struct {
+	e     *executor
+	width int
+}
+
+func (b *bitrevExecutor) Execute(tu int, ref codelet.Ref, start sim.Time, finish func(sim.Time)) {
+	e := b.e
+	s := &e.perTU[tu]
+	p := e.pl.P
+	lo := int64(ref.Index) * int64(p)
+
+	s.reqs = s.reqs[:0]
+	for j := lo; j < lo+int64(p); j++ {
+		r := fft.BitReverse(j, b.width)
+		if r > j {
+			s.reqs = append(s.reqs,
+				c64.Request{Addr: e.layout.DataAddr(e.mapIdx(tu, j)), Bytes: c64.ElemBytes},
+				c64.Request{Addr: e.layout.DataAddr(e.mapIdx(tu, r)), Bytes: c64.ElemBytes})
+		}
+	}
+	// Address arithmetic: one hardware bit-reversal plus bookkeeping per
+	// index.
+	t := start + e.m.Cfg.KernelOverhead + sim.Time(2*p)
+	if len(s.reqs) == 0 {
+		finish(t)
+		return
+	}
+	if e.onChip {
+		bytes := int64(len(s.reqs)) * c64.ElemBytes
+		done := e.m.SRAMAccess(t, c64.Load, bytes)
+		e.m.Eng.ScheduleAt(done, func(now sim.Time) {
+			finish(e.m.SRAMAccess(now, c64.Store, bytes))
+		})
+		return
+	}
+	// Swapped elements are stored back once the loads land.
+	e.m.DRAMAccessAsync(t, c64.Load, s.reqs, func(now sim.Time) {
+		e.m.DRAMAccessAsync(now, c64.Store, s.reqs, finish)
+	})
+}

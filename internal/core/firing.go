@@ -1,0 +1,124 @@
+package core
+
+import (
+	"codeletfft/internal/codelet"
+	"codeletfft/internal/fft"
+)
+
+// firing implements the dataflow firing rules of Alg. 2/3 over the FFT
+// task graph: each codelet's completion updates the dependence counters
+// of its successors, and a successor whose counter reaches its parent
+// count is emitted to the ready pool.
+//
+// With shared counters (the paper's section IV-A2 optimization) one
+// counter serves each sibling group — every 64 children that share the
+// same 64 parents — so a completing parent performs one update per group
+// it feeds (one, for regular transitions) instead of 64 per-child
+// updates.
+type firing struct {
+	pl          *fft.Plan
+	transitions []*fft.Transition // index s: stage s → s+1; nil-terminated at last stage
+	shared      bool
+
+	// lastStage limits propagation: completing a codelet of lastStage
+	// emits nothing (used by guided phase A to stop at last_early_stage).
+	lastStage int32
+
+	// batches replicates the counters for independent transforms sharing
+	// one dependence structure (the 2-D passes).
+	batches int
+
+	groupCount [][]int32 // per transition, per sibling group
+	childCount [][]int32 // per transition, per child (per-codelet mode)
+}
+
+// newFiring builds firing state covering stages [0, lastStage].
+func newFiring(pl *fft.Plan, transitions []*fft.Transition, shared bool, lastStage int) *firing {
+	f := &firing{
+		pl:          pl,
+		transitions: transitions,
+		shared:      shared,
+		batches:     1,
+		lastStage:   int32(lastStage),
+		groupCount:  make([][]int32, len(transitions)),
+		childCount:  make([][]int32, len(transitions)),
+	}
+	f.Reset()
+	return f
+}
+
+// newBatchedFiring builds firing state for `batches` independent copies
+// of the plan's dependence graph (the 2-D row/column passes), always with
+// shared counters.
+func newBatchedFiring(pl *fft.Plan, transitions []*fft.Transition, batches, lastStage int) *firing {
+	f := &firing{
+		pl:          pl,
+		transitions: transitions,
+		shared:      true,
+		batches:     batches,
+		lastStage:   int32(lastStage),
+		groupCount:  make([][]int32, len(transitions)),
+		childCount:  make([][]int32, len(transitions)),
+	}
+	f.Reset()
+	return f
+}
+
+// Reset zeroes every dependence counter (guided runs two phases over
+// fresh counters, per Alg. 3).
+func (f *firing) Reset() {
+	for s, tr := range f.transitions {
+		if tr == nil {
+			continue
+		}
+		if f.shared {
+			if f.groupCount[s] == nil {
+				f.groupCount[s] = make([]int32, f.batches*tr.NumGroups())
+			} else {
+				clear(f.groupCount[s])
+			}
+		} else {
+			if f.childCount[s] == nil {
+				f.childCount[s] = make([]int32, f.batches*f.pl.TasksPerStage)
+			} else {
+				clear(f.childCount[s])
+			}
+		}
+	}
+}
+
+// OnComplete is the codelet.OnComplete for the fine-grain variants.
+func (f *firing) OnComplete(ref codelet.Ref, emit func(codelet.Ref)) int {
+	return f.onCompleteBatch(0, ref, emit)
+}
+
+// onCompleteBatch processes a completion within one batch's counters.
+func (f *firing) onCompleteBatch(batch int, ref codelet.Ref, emit func(codelet.Ref)) int {
+	if ref.Stage >= f.lastStage {
+		return 0
+	}
+	tr := f.transitions[ref.Stage]
+	next := ref.Stage + 1
+	if f.shared {
+		base := batch * tr.NumGroups()
+		groups := tr.ParentGroups[ref.Index]
+		for _, g := range groups {
+			f.groupCount[ref.Stage][base+int(g)]++
+			if int(f.groupCount[ref.Stage][base+int(g)]) == len(tr.GroupParents[g]) {
+				for _, child := range tr.Groups[g] {
+					emit(codelet.Ref{Stage: next, Index: child})
+				}
+			}
+		}
+		return len(groups)
+	}
+	base := batch * f.pl.TasksPerStage
+	children := tr.Children(ref.Index)
+	for _, c := range children {
+		f.childCount[ref.Stage][base+int(c)]++
+		if int(f.childCount[ref.Stage][base+int(c)]) == tr.DepCount(c) {
+			emit(codelet.Ref{Stage: next, Index: c})
+		}
+	}
+	return len(children)
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOnChipNumericsVerified(t *testing.T) {
+	opts := NewOptions(1<<12, Fine)
+	opts.Placement = OnChip
+	opts.TaskSize = 8
+	res := runChecked(t, opts)
+	if res.MaxError > 1e-9 {
+		t.Fatalf("on-chip max error %g", res.MaxError)
+	}
+	// On-chip runs must not touch DRAM at all.
+	for b, v := range res.BankBytes {
+		if v != 0 {
+			t.Fatalf("on-chip run moved %d bytes through DRAM bank %d", v, b)
+		}
+	}
+}
+
+func TestOnChipFasterThanOffChip(t *testing.T) {
+	mk := func(p Placement) *Result {
+		opts := NewOptions(1<<14, Coarse)
+		opts.Placement = p
+		opts.TaskSize = 8
+		opts.SkipNumerics = true
+		res, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	on, off := mk(OnChip), mk(OffChip)
+	if on.GFLOPS <= off.GFLOPS {
+		t.Fatalf("SRAM-resident (%.3f) should beat DRAM-resident (%.3f)",
+			on.GFLOPS, off.GFLOPS)
+	}
+}
+
+func TestOnChipCapacityEnforced(t *testing.T) {
+	opts := NewOptions(1<<20, Fine) // 16 MB data ≫ 2.5 MB SRAM
+	opts.Placement = OnChip
+	opts.SkipNumerics = true
+	_, err := Run(opts)
+	if err == nil || !strings.Contains(err.Error(), "SRAM") {
+		t.Fatalf("oversized on-chip run accepted: %v", err)
+	}
+}
+
+func TestOnChipRegisterPressurePicksSmallTasks(t *testing.T) {
+	// The §III-B regime: with data on-chip, 8/16-point work units beat
+	// 64-point ones because of register spills.
+	run := func(p int) float64 {
+		opts := NewOptions(1<<13, Coarse)
+		opts.Placement = OnChip
+		opts.TaskSize = p
+		opts.SkipNumerics = true
+		res, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GFLOPS
+	}
+	small := run(8)
+	if mid := run(16); mid > small {
+		small = mid
+	}
+	if big := run(64); big >= small {
+		t.Fatalf("64-point on-chip (%.3f) should lose to 8/16-point (%.3f)", big, small)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if OffChip.String() != "off-chip" || OnChip.String() != "on-chip" {
+		t.Fatal("placement strings")
+	}
+}

@@ -1,0 +1,195 @@
+// Package core implements the paper's contribution: coarse-grain,
+// fine-grain, and guided fine-grain FFT algorithms (with and without
+// hashed twiddle addresses) executing on the simulated Cyclops-64, and
+// the measurement apparatus that reproduces the paper's figures.
+//
+// The five algorithm versions follow Table I of the paper:
+//
+//	coarse       Alg. 1 — barrier after every 64-point stage
+//	coarse hash  Alg. 1 with bit-reversal-hashed twiddle addresses
+//	fine         Alg. 2 — dependence-counter firing from a concurrent pool
+//	fine hash    Alg. 2 with hashed twiddle addresses
+//	fine guided  Alg. 3 — two fine-grain phases split at last_stage−2,
+//	             LIFO pool seeded in sibling groups
+//
+// "fine worst" and "fine best" in the figures are the extremes of the
+// plain fine variant over initial pool orders and pool disciplines,
+// exactly how the paper reports them.
+package core
+
+import (
+	"fmt"
+
+	"codeletfft/internal/c64"
+	"codeletfft/internal/codelet"
+	"codeletfft/internal/sim"
+)
+
+// Variant selects one of the paper's algorithm versions.
+type Variant uint8
+
+// Algorithm versions (Table I).
+const (
+	Coarse Variant = iota
+	CoarseHash
+	Fine
+	FineHash
+	FineGuided
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Coarse:
+		return "coarse"
+	case CoarseHash:
+		return "coarse hash"
+	case Fine:
+		return "fine"
+	case FineHash:
+		return "fine hash"
+	case FineGuided:
+		return "fine guided"
+	}
+	return fmt.Sprintf("variant(%d)", uint8(v))
+}
+
+// Hashed reports whether the variant randomizes twiddle addresses.
+func (v Variant) Hashed() bool { return v == CoarseHash || v == FineHash }
+
+// Variants lists all algorithm versions in presentation order.
+func Variants() []Variant {
+	return []Variant{Coarse, CoarseHash, Fine, FineHash, FineGuided}
+}
+
+// Order selects the initial arrangement of stage-0 codelets in the pool.
+// The paper observes that this arrangement changes fine-grain performance
+// substantially ("fine worst" vs "fine best").
+type Order uint8
+
+// Initial pool orders.
+const (
+	// OrderNatural seeds codelets 0,1,2,... — sibling-group contiguous.
+	OrderNatural Order = iota
+	// OrderReversed seeds codelets n-1,...,1,0.
+	OrderReversed
+	// OrderBitReversed seeds codelets in bit-reversed index order, which
+	// scatters sibling groups maximally.
+	OrderBitReversed
+	// OrderRandom seeds codelets in a seeded pseudorandom permutation.
+	OrderRandom
+)
+
+func (o Order) String() string {
+	switch o {
+	case OrderNatural:
+		return "natural"
+	case OrderReversed:
+		return "reversed"
+	case OrderBitReversed:
+		return "bitrev"
+	case OrderRandom:
+		return "random"
+	}
+	return fmt.Sprintf("order(%d)", uint8(o))
+}
+
+// Placement selects where the data and twiddle arrays live. The paper's
+// evaluation is entirely OffChip (DRAM-resident); OnChip reproduces the
+// SRAM-resident regime of the predecessor study (section III-B), where
+// register pressure rather than bank balance picks the task size.
+type Placement uint8
+
+// Array placements.
+const (
+	OffChip Placement = iota
+	OnChip
+)
+
+func (p Placement) String() string {
+	if p == OnChip {
+		return "on-chip"
+	}
+	return "off-chip"
+}
+
+// Options configures one simulated FFT execution.
+type Options struct {
+	// N is the transform length (power of two). Required.
+	N int
+	// TaskSize is the points per codelet; 0 means the paper's 64.
+	TaskSize int
+	// Threads is the number of thread units; 0 means Machine.ThreadUnits.
+	Threads int
+	// Variant is the algorithm version to run.
+	Variant Variant
+	// Placement locates the data and twiddle arrays (OffChip default).
+	Placement Placement
+	// Order arranges the initial stage-0 codelets in the pool.
+	Order Order
+	// Discipline is the pool service order for the Fine variants.
+	// Coarse uses FIFO; Guided forces LIFO per Alg. 3.
+	Discipline codelet.Discipline
+	// SharedCounters enables the paper's 64-sibling shared dependence
+	// counters (section IV-A2). NewOptions enables it.
+	SharedCounters bool
+	// Machine is the architecture model configuration.
+	Machine c64.Config
+	// TraceBin, when positive, collects a per-bank access-rate trace
+	// with the given window width in cycles (Figures 1, 2, 6).
+	TraceBin sim.Time
+	// SkipNumerics runs timing-only (no complex arithmetic). Outputs are
+	// then not checked; use for large parameter sweeps.
+	SkipNumerics bool
+	// Check verifies the numeric output against an independent FFT and
+	// records the max error. Incompatible with SkipNumerics.
+	Check bool
+	// Seed selects the input signal and any randomized order.
+	Seed int64
+}
+
+// NewOptions returns paper-default options for an N-point transform.
+func NewOptions(n int, v Variant) Options {
+	return Options{
+		N:              n,
+		TaskSize:       64,
+		Variant:        v,
+		Order:          OrderNatural,
+		Discipline:     codelet.LIFO,
+		SharedCounters: true,
+		Machine:        c64.Default(),
+		Seed:           1,
+	}
+}
+
+// normalize fills defaults and validates.
+func (o *Options) normalize() error {
+	if o.TaskSize == 0 {
+		o.TaskSize = 64
+	}
+	if o.Machine.ThreadUnits == 0 {
+		o.Machine = c64.Default()
+	}
+	if o.Threads == 0 {
+		o.Threads = o.Machine.ThreadUnits
+	}
+	if err := o.Machine.Validate(); err != nil {
+		return err
+	}
+	if o.Threads < 0 || o.Threads > o.Machine.ThreadUnits {
+		return fmt.Errorf("core: Threads=%d outside [1,%d]", o.Threads, o.Machine.ThreadUnits)
+	}
+	if o.SkipNumerics && o.Check {
+		return fmt.Errorf("core: Check requires numerics")
+	}
+	if o.N < 2 {
+		return fmt.Errorf("core: N=%d too small", o.N)
+	}
+	if o.Placement == OnChip {
+		need := int64(o.N)*c64.ElemBytes + int64(o.N/2)*c64.ElemBytes
+		if need > o.Machine.SRAMBytes {
+			return fmt.Errorf("core: N=%d needs %d bytes, exceeding the %d-byte on-chip SRAM",
+				o.N, need, o.Machine.SRAMBytes)
+		}
+	}
+	return nil
+}

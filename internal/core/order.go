@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math/rand"
+
+	"codeletfft/internal/codelet"
+	"codeletfft/internal/fft"
+)
+
+// stageSeed arranges the n codelets of a stage in the requested initial
+// pool order. n is a power of two (it is N/P).
+func stageSeed(order Order, stage int32, n int, seed int64) []codelet.Ref {
+	refs := make([]codelet.Ref, n)
+	switch order {
+	case OrderNatural:
+		for i := range refs {
+			refs[i] = codelet.Ref{Stage: stage, Index: int32(i)}
+		}
+	case OrderReversed:
+		for i := range refs {
+			refs[i] = codelet.Ref{Stage: stage, Index: int32(n - 1 - i)}
+		}
+	case OrderBitReversed:
+		width := fft.Log2(n)
+		if width < 0 {
+			// Not a power of two: fall back to natural order.
+			for i := range refs {
+				refs[i] = codelet.Ref{Stage: stage, Index: int32(i)}
+			}
+			break
+		}
+		for i := range refs {
+			refs[i] = codelet.Ref{Stage: stage, Index: int32(fft.BitReverse(int64(i), width))}
+		}
+	case OrderRandom:
+		perm := rand.New(rand.NewSource(seed)).Perm(n)
+		for i, p := range perm {
+			refs[i] = codelet.Ref{Stage: stage, Index: int32(p)}
+		}
+	default:
+		panic("core: unknown order")
+	}
+	return refs
+}
+
+// groupSeed arranges the codelets of stage — the parent side of
+// transition tr — so that codelets sharing the same child set are
+// contiguous, the seeding Alg. 3 prescribes for the guided algorithm's
+// second phase ("for every 64 codelets of (last_stage−1) that have the
+// same child codelets"). In regular transitions each sibling group's
+// parent list is exactly such a set; in irregular transitions a parent
+// can feed several groups and is seeded once, at its first group.
+func groupSeed(tr *fft.Transition, stage int32, numTasks int) []codelet.Ref {
+	refs := make([]codelet.Ref, 0, numTasks)
+	seen := make([]bool, numTasks)
+	for g := range tr.Groups {
+		for _, p := range tr.GroupParents[g] {
+			if !seen[p] {
+				seen[p] = true
+				refs = append(refs, codelet.Ref{Stage: stage, Index: p})
+			}
+		}
+	}
+	return refs
+}

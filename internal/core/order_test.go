@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"codeletfft/internal/codelet"
+	"codeletfft/internal/fft"
+)
+
+func ref(stage, index int) codelet.Ref {
+	return codelet.Ref{Stage: int32(stage), Index: int32(index)}
+}
+
+func TestStageSeedOrders(t *testing.T) {
+	n := 16
+	isPerm := func(refs []int32) bool {
+		seen := make([]bool, n)
+		for _, r := range refs {
+			if r < 0 || int(r) >= n || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return len(refs) == n
+	}
+	for _, o := range []Order{OrderNatural, OrderReversed, OrderBitReversed, OrderRandom} {
+		refs := stageSeed(o, 2, n, 7)
+		idx := make([]int32, len(refs))
+		for i, r := range refs {
+			if r.Stage != 2 {
+				t.Fatalf("%v: wrong stage %d", o, r.Stage)
+			}
+			idx[i] = r.Index
+		}
+		if !isPerm(idx) {
+			t.Fatalf("%v is not a permutation: %v", o, idx)
+		}
+	}
+	// Specific orders.
+	nat := stageSeed(OrderNatural, 0, 4, 1)
+	if nat[0].Index != 0 || nat[3].Index != 3 {
+		t.Fatalf("natural = %v", nat)
+	}
+	rev := stageSeed(OrderReversed, 0, 4, 1)
+	if rev[0].Index != 3 || rev[3].Index != 0 {
+		t.Fatalf("reversed = %v", rev)
+	}
+	br := stageSeed(OrderBitReversed, 0, 8, 1)
+	want := []int32{0, 4, 2, 6, 1, 5, 3, 7}
+	for i := range want {
+		if br[i].Index != want[i] {
+			t.Fatalf("bitrev = %v, want %v", br, want)
+		}
+	}
+}
+
+func TestStageSeedRandomDeterministic(t *testing.T) {
+	a := stageSeed(OrderRandom, 0, 64, 5)
+	b := stageSeed(OrderRandom, 0, 64, 5)
+	c := stageSeed(OrderRandom, 0, 64, 6)
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed gave different orders")
+	}
+	if !diff {
+		t.Fatal("different seeds gave identical orders")
+	}
+}
+
+func TestGroupSeedCoversAllParentsOnce(t *testing.T) {
+	for _, cfg := range []struct{ n, p int }{{1 << 13, 64}, {1 << 15, 64}, {1 << 10, 8}} {
+		pl, err := fft.NewPlan(cfg.n, cfg.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		penult := pl.NumStages - 2
+		if penult < 0 {
+			continue
+		}
+		tr := pl.BuildTransition(penult)
+		refs := groupSeed(tr, int32(penult), pl.TasksPerStage)
+		seen := make([]bool, pl.TasksPerStage)
+		for _, r := range refs {
+			if seen[r.Index] {
+				t.Fatalf("N=%d P=%d: parent %d seeded twice", cfg.n, cfg.p, r.Index)
+			}
+			seen[r.Index] = true
+		}
+		if len(refs) != pl.TasksPerStage {
+			t.Fatalf("N=%d P=%d: seeded %d of %d parents", cfg.n, cfg.p, len(refs), pl.TasksPerStage)
+		}
+	}
+}
+
+func TestFiringEmitsWhenAllParentsDone(t *testing.T) {
+	pl, err := fft.NewPlan(1<<12, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transitions := []*fft.Transition{pl.BuildTransition(0), nil}
+	for _, shared := range []bool{true, false} {
+		f := newFiring(pl, transitions, shared, pl.NumStages-1)
+		emitted := 0
+		// Complete every stage-0 codelet; exactly all stage-1 codelets
+		// must fire, each exactly once.
+		for i := 0; i < pl.TasksPerStage; i++ {
+			f.OnComplete(ref(0, i), func(c codelet.Ref) { emitted++ })
+		}
+		if emitted != pl.TasksPerStage {
+			t.Fatalf("shared=%v: emitted %d, want %d", shared, emitted, pl.TasksPerStage)
+		}
+		// Last-stage completions emit nothing.
+		if n := f.OnComplete(ref(1, 0), func(codelet.Ref) { t.Fatal("last stage emitted") }); n != 0 {
+			t.Fatalf("last stage performed %d updates", n)
+		}
+	}
+}
+
+func TestFiringResetClearsCounters(t *testing.T) {
+	pl, err := fft.NewPlan(1<<12, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transitions := []*fft.Transition{pl.BuildTransition(0), nil}
+	f := newFiring(pl, transitions, true, pl.NumStages-1)
+	for i := 0; i < pl.TasksPerStage; i++ {
+		f.OnComplete(ref(0, i), func(codelet.Ref) {})
+	}
+	f.Reset()
+	emitted := 0
+	for i := 0; i < pl.TasksPerStage; i++ {
+		f.OnComplete(ref(0, i), func(codelet.Ref) { emitted++ })
+	}
+	if emitted != pl.TasksPerStage {
+		t.Fatalf("after reset emitted %d, want %d", emitted, pl.TasksPerStage)
+	}
+}
+
+func TestFiringStopsAtLastStage(t *testing.T) {
+	// Guided phase A: lastStage = lastEarly means completing a last-early
+	// codelet performs no updates.
+	pl, err := fft.NewPlan(1<<15, 64) // 3 stages
+	if err != nil {
+		t.Fatal(err)
+	}
+	transitions := make([]*fft.Transition, pl.NumStages)
+	transitions[0] = pl.BuildTransition(0)
+	transitions[1] = pl.BuildTransition(1)
+	f := newFiring(pl, transitions, true, 0) // phase A with lastEarly=0
+	if n := f.OnComplete(ref(0, 5), func(codelet.Ref) { t.Fatal("phase A propagated") }); n != 0 {
+		t.Fatalf("phase A performed %d updates", n)
+	}
+}

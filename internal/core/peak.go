@@ -1,0 +1,27 @@
+package core
+
+import "codeletfft/internal/c64"
+
+// TheoreticalPeakGFLOPS evaluates the paper's equations (1)–(4): the
+// performance ceiling of a P-point-task FFT whose data and twiddles live
+// in off-chip DRAM, assuming the memory ports never idle.
+//
+//	#tasks          = (N/P)·(log2 N / log2 P)        (ceiling dropped)
+//	time per task   = (P + P + (P−1))·16 B / BW       (load+store+twiddles)
+//	peak            = 5·N·log2 N / (#tasks·time)
+//	                = 5·P·log2 P·BW / ((3P−1)·16)
+//
+// For P=64 on the 16 GB/s C64 this is the paper's 10 GFLOPS (eq. 4).
+// N cancels, so the ceiling is independent of the transform length.
+func TheoreticalPeakGFLOPS(cfg c64.Config, taskSize int) float64 {
+	p := float64(taskSize)
+	logP := float64(log2int(taskSize))
+	bw := cfg.DRAMBandwidth()
+	return 5 * p * logP * bw / ((3*p - 1) * c64.ElemBytes) / 1e9
+}
+
+// TaskBytes returns the off-chip traffic of one P-point task: P loads,
+// P stores and P−1 twiddle loads of 16-byte elements (eq. 3's numerator).
+func TaskBytes(taskSize int) int64 {
+	return int64(3*taskSize-1) * c64.ElemBytes
+}

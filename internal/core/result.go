@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"codeletfft/internal/codelet"
+	"codeletfft/internal/sim"
+	"codeletfft/internal/trace"
+)
+
+// Result reports one simulated FFT execution.
+type Result struct {
+	Opts Options
+
+	// Cycles is the simulated makespan; Seconds converts it at the model
+	// clock; GFLOPS is the paper's metric, 5·N·log2(N)/time.
+	Cycles  sim.Time
+	Seconds float64
+	GFLOPS  float64
+
+	// TotalFlops is the 5·N·log2(N) convention used for GFLOPS.
+	TotalFlops int64
+	// Codelets is the number of butterfly codelets executed (excluding
+	// the bit-reversal pass).
+	Codelets int
+	// Stages is the number of butterfly stages.
+	Stages int
+
+	// Per-DRAM-bank accounting.
+	BankBytes    []int64
+	BankAccesses []int64
+	BankBusy     []sim.Time
+	BankUtil     []float64
+
+	// Runtime counters (pool operations, counter updates, lock wait...).
+	Runtime codelet.Stats
+
+	// Trace is the per-bank access-rate series when Options.TraceBin > 0.
+	Trace *trace.BankTrace
+
+	// MaxError is the worst element error against an independent FFT
+	// when Options.Check is set.
+	MaxError float64
+	Checked  bool
+
+	// Output holds the transform result when numerics ran and
+	// KeepOutput was requested via RunOn.
+	Output []complex128
+}
+
+// BankSkew returns max-bank-bytes / mean-other-banks-bytes over the whole
+// run — 1.0 is perfectly balanced, ~3 is the paper's coarse-grain skew on
+// early stages.
+func (r *Result) BankSkew() float64 {
+	var maxV int64
+	maxB := 0
+	for b, v := range r.BankBytes {
+		if v > maxV {
+			maxV, maxB = v, b
+		}
+	}
+	var rest int64
+	for b, v := range r.BankBytes {
+		if b != maxB {
+			rest += v
+		}
+	}
+	if rest == 0 {
+		return 1
+	}
+	return float64(maxV) / (float64(rest) / float64(len(r.BankBytes)-1))
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%s N=2^%d P=%d threads=%d: %.3f GFLOPS (%d cycles, skew %.2f)",
+		r.Opts.Variant, log2int(r.Opts.N), r.Opts.TaskSize, r.Opts.Threads,
+		r.GFLOPS, r.Cycles, r.BankSkew())
+}
+
+func log2int(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

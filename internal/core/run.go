@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"codeletfft/internal/c64"
+	"codeletfft/internal/codelet"
+	"codeletfft/internal/fft"
+	"codeletfft/internal/trace"
+)
+
+// Run simulates one FFT execution under opts and reports timing, bank
+// balance, runtime statistics, and (optionally) verified numerics.
+func Run(opts Options) (*Result, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	pl, err := fft.NewPlan(opts.N, opts.TaskSize)
+	if err != nil {
+		return nil, err
+	}
+
+	m := c64.NewMachine(opts.Machine)
+	var tr *trace.BankTrace
+	if opts.TraceBin > 0 {
+		tr = trace.NewBankTrace(opts.Machine.DRAMPorts, opts.TraceBin)
+		m.Tracer = tr
+	}
+
+	// Host-side arrays. The simulated codelets do the real arithmetic on
+	// them unless SkipNumerics is set.
+	var data, input, w []complex128
+	if !opts.SkipNumerics {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		data = make([]complex128, opts.N)
+		for i := range data {
+			data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		input = append([]complex128(nil), data...)
+		w = fft.Twiddles(opts.N)
+		if opts.Variant.Hashed() {
+			w = fft.HashTwiddles(w)
+		}
+		// The numeric effect of the simulated bit-reversal pass.
+		fft.BitReversePermute(data)
+	}
+
+	exec := newExecutor(&opts, m, pl, data, w)
+	rtCfg := codelet.Config{
+		Threads:       opts.Threads,
+		PoolAccess:    opts.Machine.PoolAccess,
+		CounterUpdate: opts.Machine.CounterUpdate,
+	}
+
+	// Bit-reversal pass (every variant performs it once, in parallel,
+	// then synchronizes).
+	brExec := &bitrevExecutor{e: exec, width: pl.LogN}
+	brRT := codelet.NewRuntime(m.Eng, rtCfg, codelet.FIFO, brExec.Execute, nil)
+	brRT.RunPhaseStatic(stageSeed(OrderNatural, 0, pl.TasksPerStage, opts.Seed))
+	brRT.Barrier(opts.Machine.BarrierLatency)
+
+	var stats codelet.Stats
+	addStats := func(s codelet.Stats) {
+		stats.Executed += s.Executed
+		stats.CounterUpdates += s.CounterUpdates
+		stats.PoolOps += s.PoolOps
+		stats.IdleWakeups += s.IdleWakeups
+		stats.LockWait += s.LockWait
+	}
+	addStats(brRT.Stats())
+	brExecuted := stats.Executed
+
+	switch opts.Variant {
+	case Coarse, CoarseHash:
+		runCoarse(&opts, pl, m, exec, rtCfg, addStats)
+	case Fine, FineHash:
+		runFine(&opts, pl, m, exec, rtCfg, addStats)
+	case FineGuided:
+		runGuided(&opts, pl, m, exec, rtCfg, addStats)
+	default:
+		return nil, fmt.Errorf("core: unknown variant %v", opts.Variant)
+	}
+
+	res := &Result{
+		Opts:         opts,
+		Cycles:       m.Eng.Now(),
+		TotalFlops:   pl.TotalFlops(),
+		Codelets:     int(stats.Executed - brExecuted),
+		Stages:       pl.NumStages,
+		BankBytes:    m.BankBytes(),
+		BankAccesses: m.BankAccesses(),
+		BankBusy:     m.BankBusy(),
+		Runtime:      stats,
+		Trace:        tr,
+	}
+	res.Seconds = opts.Machine.Seconds(res.Cycles)
+	res.GFLOPS = float64(res.TotalFlops) / res.Seconds / 1e9
+	res.BankUtil = make([]float64, len(res.BankBusy))
+	for b, busy := range res.BankBusy {
+		res.BankUtil[b] = float64(busy) / float64(res.Cycles)
+	}
+
+	if opts.Check {
+		want := fft.Recursive(input)
+		res.MaxError = fft.MaxError(data, want)
+		res.Checked = true
+		if res.MaxError > 1e-6*float64(pl.LogN) {
+			return res, fmt.Errorf("core: %v N=%d produced wrong output (max error %g)",
+				opts.Variant, opts.N, res.MaxError)
+		}
+	}
+	if !opts.SkipNumerics {
+		res.Output = data
+	}
+	return res, nil
+}
+
+// runCoarse is Alg. 1: a static cyclic parallel-for per stage, every
+// stage separated by a hardware barrier. Thread j executes tasks
+// j, j+threads, j+2·threads, ... serially — the SPMD idiom of the
+// baseline implementation — so a thread whose tasks hit congested banks
+// straggles and the barrier exposes it.
+func runCoarse(opts *Options, pl *fft.Plan, m *c64.Machine, exec *executor, rtCfg codelet.Config, addStats func(codelet.Stats)) {
+	rt := codelet.NewRuntime(m.Eng, rtCfg, codelet.FIFO, exec.Execute, nil)
+	for s := 0; s < pl.NumStages; s++ {
+		rt.RunPhaseStatic(stageSeed(opts.Order, int32(s), pl.TasksPerStage, opts.Seed))
+		rt.Barrier(opts.Machine.BarrierLatency)
+	}
+	addStats(rt.Stats())
+}
+
+// runFine is Alg. 2: one phase, dependence-counter firing, no barriers.
+func runFine(opts *Options, pl *fft.Plan, m *c64.Machine, exec *executor, rtCfg codelet.Config, addStats func(codelet.Stats)) {
+	transitions := make([]*fft.Transition, pl.NumStages)
+	for s := 0; s < pl.NumStages-1; s++ {
+		transitions[s] = pl.BuildTransition(s)
+	}
+	f := newFiring(pl, transitions, opts.SharedCounters, pl.NumStages-1)
+	rt := codelet.NewRuntime(m.Eng, rtCfg, opts.Discipline, exec.Execute, f.OnComplete)
+	rt.RunPhase(stageSeed(opts.Order, 0, pl.TasksPerStage, opts.Seed))
+	addStats(rt.Stats())
+}
+
+// runGuided is Alg. 3: fine-grain over the early stages (0..last−2), a
+// barrier, then fine-grain over the last two stages from a LIFO pool
+// seeded in sibling groups. Plans with fewer than three stages have no
+// early/late split and degenerate to plain fine-grain with a LIFO pool.
+func runGuided(opts *Options, pl *fft.Plan, m *c64.Machine, exec *executor, rtCfg codelet.Config, addStats func(codelet.Stats)) {
+	lastEarly := pl.NumStages - 3
+	if lastEarly < 0 {
+		o := *opts
+		o.Discipline = codelet.LIFO
+		runFine(&o, pl, m, exec, rtCfg, addStats)
+		return
+	}
+
+	transitions := make([]*fft.Transition, pl.NumStages)
+	for s := 0; s < pl.NumStages-1; s++ {
+		transitions[s] = pl.BuildTransition(s)
+	}
+
+	// Phase A: stages 0..lastEarly; completing a last-early codelet does
+	// not propagate (the barrier takes over).
+	fA := newFiring(pl, transitions, opts.SharedCounters, lastEarly)
+	rtA := codelet.NewRuntime(m.Eng, rtCfg, codelet.LIFO, exec.Execute, fA.OnComplete)
+	rtA.RunPhase(stageSeed(opts.Order, 0, pl.TasksPerStage, opts.Seed))
+	rtA.Barrier(opts.Machine.BarrierLatency)
+	addStats(rtA.Stats())
+
+	// Phase B: seed all of stage last−1 grouped by common child sets,
+	// fresh counters, LIFO pool.
+	penult := lastEarly + 1 // == pl.NumStages-2: the stage feeding the last
+	fB := newFiring(pl, transitions, opts.SharedCounters, pl.NumStages-1)
+	rtB := codelet.NewRuntime(m.Eng, rtCfg, codelet.LIFO, exec.Execute, fB.OnComplete)
+	rtB.RunPhase(groupSeed(transitions[penult], int32(penult), pl.TasksPerStage))
+	addStats(rtB.Stats())
+}

@@ -1,0 +1,65 @@
+package core
+
+import "testing"
+
+func TestRun2DNumericsVerified(t *testing.T) {
+	for _, shape := range []struct{ r, c int }{{32, 64}, {64, 64}, {128, 32}} {
+		res, err := Run2D(Options2D{Rows: shape.r, Cols: shape.c, TaskSize: 8, Check: true})
+		if err != nil {
+			t.Fatalf("%dx%d: %v", shape.r, shape.c, err)
+		}
+		if !res.Checked || res.MaxError > 1e-8 {
+			t.Fatalf("%dx%d: max error %g", shape.r, shape.c, res.MaxError)
+		}
+		if res.GFLOPS <= 0 || res.RowCycles <= 0 || res.RowCycles >= res.Cycles {
+			t.Fatalf("%dx%d: implausible timing row=%d total=%d",
+				shape.r, shape.c, res.RowCycles, res.Cycles)
+		}
+	}
+}
+
+func TestRun2DLargerTasks(t *testing.T) {
+	res, err := Run2D(Options2D{Rows: 128, Cols: 128, TaskSize: 64, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxError > 1e-8 {
+		t.Fatalf("max error %g", res.MaxError)
+	}
+}
+
+func TestRun2DColumnPassSlower(t *testing.T) {
+	// The column pass reads with stride Cols (whole columns on one DRAM
+	// bank), so with equal dimensions it should take at least as long as
+	// the contiguous row pass.
+	res, err := Run2D(Options2D{Rows: 256, Cols: 256, SkipNumerics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colCycles := res.Cycles - res.RowCycles
+	if colCycles < res.RowCycles {
+		t.Fatalf("column pass (%d) finished faster than row pass (%d)", colCycles, res.RowCycles)
+	}
+}
+
+func TestRun2DValidation(t *testing.T) {
+	if _, err := Run2D(Options2D{Rows: 10, Cols: 16}); err == nil {
+		t.Fatal("non-power-of-two rows accepted")
+	}
+	if _, err := Run2D(Options2D{Rows: 16, Cols: 16, SkipNumerics: true, Check: true}); err == nil {
+		t.Fatal("Check+SkipNumerics accepted")
+	}
+}
+
+func TestRun2DDeterministic(t *testing.T) {
+	run := func() *Result2D {
+		res, err := Run2D(Options2D{Rows: 64, Cols: 128, SkipNumerics: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(), run(); a.Cycles != b.Cycles {
+		t.Fatalf("nondeterministic 2-D run: %d vs %d", a.Cycles, b.Cycles)
+	}
+}

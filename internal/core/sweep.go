@@ -1,0 +1,65 @@
+package core
+
+import (
+	"codeletfft/internal/codelet"
+)
+
+// FineConfig names one (initial order, pool discipline) combination of
+// the plain fine-grain algorithm.
+type FineConfig struct {
+	Order      Order
+	Discipline codelet.Discipline
+}
+
+// DefaultFineConfigs is the ensemble over which "fine worst" and "fine
+// best" are taken, mirroring the paper's exploration of initial codelet
+// orders: breadth-first FIFO service versus depth-first LIFO service,
+// each from sibling-contiguous, reversed, scattered, and random seeds.
+func DefaultFineConfigs() []FineConfig {
+	return []FineConfig{
+		{OrderNatural, codelet.FIFO},
+		{OrderBitReversed, codelet.FIFO},
+		{OrderNatural, codelet.LIFO},
+		{OrderReversed, codelet.LIFO},
+		{OrderBitReversed, codelet.LIFO},
+		{OrderRandom, codelet.LIFO},
+	}
+}
+
+// BestWorst holds the extremes of the fine-grain ensemble.
+type BestWorst struct {
+	Best      *Result
+	Worst     *Result
+	BestCfg   FineConfig
+	WorstCfg  FineConfig
+	AllruGF   []float64
+	AllConfig []FineConfig
+}
+
+// RunFineBestWorst runs the plain fine variant across configs (or the
+// default ensemble if nil) and returns the fastest and slowest runs.
+func RunFineBestWorst(base Options, configs []FineConfig) (*BestWorst, error) {
+	if configs == nil {
+		configs = DefaultFineConfigs()
+	}
+	base.Variant = Fine
+	out := &BestWorst{}
+	for _, cfg := range configs {
+		opts := base
+		opts.Order = cfg.Order
+		opts.Discipline = cfg.Discipline
+		res, err := Run(opts)
+		if err != nil {
+			return nil, err
+		}
+		out.AllruGF = append(out.AllruGF, res.GFLOPS)
+		out.AllConfig = append(out.AllConfig, cfg)
+		if out.Best == nil || res.GFLOPS > out.Best.GFLOPS {
+			out.Best, out.BestCfg = res, cfg
+		}
+		if out.Worst == nil || res.GFLOPS < out.Worst.GFLOPS {
+			out.Worst, out.WorstCfg = res, cfg
+		}
+	}
+	return out, nil
+}

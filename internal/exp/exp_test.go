@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func quickConfig() Config {
+	cfg := NewConfig()
+	cfg.Quick = true
+	return cfg
+}
+
+func runAndVerify(t *testing.T, run func(Config) (*Result, error)) *Result {
+	t.Helper()
+	r, err := run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Checks {
+		if !c.Pass {
+			t.Errorf("%s: check %q failed: %s", r.ID, c.Name, c.Detail)
+		}
+	}
+	return r
+}
+
+func TestFig1CoarseTrace(t *testing.T) {
+	r := runAndVerify(t, Fig1CoarseTrace)
+	if len(r.Series) != 4 {
+		t.Fatalf("want 4 bank series, got %d", len(r.Series))
+	}
+}
+
+func TestFig2GuidedTrace(t *testing.T) {
+	runAndVerify(t, Fig2GuidedTrace)
+}
+
+func TestFig6HashTrace(t *testing.T) {
+	runAndVerify(t, Fig6HashTrace)
+}
+
+func TestFig7CodeletSize(t *testing.T) {
+	r := runAndVerify(t, Fig7CodeletSize)
+	if len(r.Series[0].X) != 7 {
+		t.Fatalf("want 7 codelet sizes, got %d", len(r.Series[0].X))
+	}
+}
+
+func TestFig8InputSizes(t *testing.T) {
+	r := runAndVerify(t, Fig8InputSizes)
+	if len(r.Series) != 6 {
+		t.Fatalf("want 6 result types, got %d", len(r.Series))
+	}
+}
+
+func TestFig9ThreadScaling(t *testing.T) {
+	runAndVerify(t, Fig9ThreadScaling)
+}
+
+func TestTablePeak(t *testing.T) {
+	r := runAndVerify(t, TablePeak)
+	if r.Table == nil || len(r.Table.Rows) != 5 {
+		t.Fatal("peak table missing rows")
+	}
+}
+
+func TestWriteResult(t *testing.T) {
+	dir := t.TempDir()
+	r := runAndVerify(t, TablePeak)
+	if err := WriteResult(dir, r); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(filepath.Join(dir, "peak.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "PASS") {
+		t.Fatalf("rendered result missing checks:\n%s", txt)
+	}
+	// Series-bearing results also emit CSV.
+	r2 := runAndVerify(t, Fig7CodeletSize)
+	if err := WriteResult(dir, r2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig7.csv")); err != nil {
+		t.Fatal("fig7.csv not written")
+	}
+}
+
+func TestOnChipTaskSize(t *testing.T) {
+	r := runAndVerify(t, OnChipTaskSize)
+	if len(r.Series[0].X) != 6 {
+		t.Fatalf("want 6 sizes, got %d", len(r.Series[0].X))
+	}
+}
+
+func TestAllRunsEveryExperiment(t *testing.T) {
+	results, err := All(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("All returned %d results, want 8", len(results))
+	}
+	ids := map[string]bool{}
+	for _, r := range results {
+		ids[r.ID] = true
+	}
+	for _, want := range []string{"fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "peak", "onchip"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"codeletfft/internal/report"
+)
+
+// WriteResult renders one experiment into dir: <id>.csv with the raw
+// series (when present), and <id>.txt with the chart, table, notes and
+// shape-check outcomes.
+func WriteResult(dir string, r *Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if len(r.Series) > 0 {
+		f, err := os.Create(filepath.Join(dir, r.ID+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := report.WriteCSV(f, r.XLabel, r.Series); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	var b strings.Builder
+	if err := Render(&b, r); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, r.ID+".txt"), []byte(b.String()), 0o644)
+}
+
+// Render writes the human-readable form of a result.
+func Render(w *strings.Builder, r *Result) error {
+	fmt.Fprintf(w, "%s\n%s\n\n", r.Title, strings.Repeat("=", len(r.Title)))
+	if len(r.Series) > 0 {
+		if err := report.Chart(w, r.Title, r.XLabel, r.YLabel, r.Series, 72, 20); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if r.Table != nil {
+		if err := r.Table.Write(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "check [%s] %s: %s\n", status, c.Name, c.Detail)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package fft
+
+import "fmt"
+
+// Plan2D decomposes a rows×cols 2-D FFT into row transforms followed by
+// column transforms, each using the staged P-point-task plan. This is the
+// row-column method the C64 line of work (Chen et al.) used for 2-D FFT;
+// the paper's scheduling applies to each 1-D pass.
+type Plan2D struct {
+	Rows, Cols int
+	RowPlan    *Plan
+	ColPlan    *Plan
+}
+
+// NewPlan2D validates the shape and builds per-dimension plans. Task size
+// is clamped to each dimension.
+func NewPlan2D(rows, cols, taskSize int) (*Plan2D, error) {
+	if Log2(rows) < 1 || Log2(cols) < 1 {
+		return nil, fmt.Errorf("fft: 2-D shape %dx%d must be powers of two ≥ 2", rows, cols)
+	}
+	rp, err := NewPlan(cols, min(taskSize, cols))
+	if err != nil {
+		return nil, err
+	}
+	cp, err := NewPlan(rows, min(taskSize, rows))
+	if err != nil {
+		return nil, err
+	}
+	return &Plan2D{Rows: rows, Cols: cols, RowPlan: rp, ColPlan: cp}, nil
+}
+
+// Transform applies the 2-D FFT in place to data in row-major order.
+func (p *Plan2D) Transform(data []complex128) {
+	if len(data) != p.Rows*p.Cols {
+		panic("fft: 2-D data length mismatch")
+	}
+	wRow := Twiddles(p.Cols)
+	wCol := Twiddles(p.Rows)
+
+	// Row pass.
+	for r := 0; r < p.Rows; r++ {
+		p.RowPlan.Transform(data[r*p.Cols:(r+1)*p.Cols], wRow)
+	}
+	// Column pass via gather/scatter.
+	col := make([]complex128, p.Rows)
+	for c := 0; c < p.Cols; c++ {
+		for r := 0; r < p.Rows; r++ {
+			col[r] = data[r*p.Cols+c]
+		}
+		p.ColPlan.Transform(col, wCol)
+		for r := 0; r < p.Rows; r++ {
+			data[r*p.Cols+c] = col[r]
+		}
+	}
+}
+
+// InverseTransform applies the inverse 2-D FFT in place.
+func (p *Plan2D) InverseTransform(data []complex128) {
+	for i, v := range data {
+		data[i] = complex(real(v), -imag(v))
+	}
+	p.Transform(data)
+	inv := 1 / float64(p.Rows*p.Cols)
+	for i, v := range data {
+		data[i] = complex(real(v)*inv, -imag(v)*inv)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

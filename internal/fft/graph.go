@@ -1,0 +1,103 @@
+package fft
+
+import "sort"
+
+// Transition is the exact dependence structure between the tasks of stage
+// s (parents) and stage s+1 (children): a child may fire only when every
+// parent that produced one of its input elements has completed.
+//
+// Children are clustered into sibling groups with identical parent sets.
+// For regular transitions the paper's observation holds: every child has
+// exactly P parents and every P siblings share the same P parents, so one
+// shared counter per group suffices (the storage/update optimization of
+// section IV-A2). Irregular final transitions are derived from the
+// element maps rather than assumed.
+type Transition struct {
+	Stage int // parent stage s; children live in stage s+1
+
+	// ChildGroup maps a child task id to its sibling-group id.
+	ChildGroup []int32
+	// Groups lists member child task ids per group, ascending.
+	Groups [][]int32
+	// GroupParents lists the distinct parent task ids per group, ascending.
+	GroupParents [][]int32
+	// ParentGroups lists, per parent task id, the groups it feeds.
+	ParentGroups [][]int32
+}
+
+// BuildTransition derives the stage→stage+1 dependence structure of pl.
+func (pl *Plan) BuildTransition(stage int) *Transition {
+	pl.checkStage(stage)
+	if stage == pl.NumStages-1 {
+		panic("fft: last stage has no successor transition")
+	}
+	nt := pl.TasksPerStage
+	tr := &Transition{
+		Stage:        stage,
+		ChildGroup:   make([]int32, nt),
+		ParentGroups: make([][]int32, nt),
+	}
+	idx := make([]int64, pl.P)
+	parents := make([]int32, 0, pl.P)
+	key := make([]byte, 0, 4*pl.P)
+	groupOf := make(map[string]int32, nt/pl.P+1)
+
+	for c := 0; c < nt; c++ {
+		pl.TaskIndices(stage+1, c, idx)
+		parents = parents[:0]
+		for _, g := range idx {
+			parents = append(parents, int32(pl.TaskOf(stage, g)))
+		}
+		sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+		// Dedupe in place.
+		u := parents[:1]
+		for _, p := range parents[1:] {
+			if p != u[len(u)-1] {
+				u = append(u, p)
+			}
+		}
+		key = key[:0]
+		for _, p := range u {
+			key = append(key, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+		}
+		gid, ok := groupOf[string(key)]
+		if !ok {
+			gid = int32(len(tr.Groups))
+			groupOf[string(key)] = gid
+			tr.Groups = append(tr.Groups, nil)
+			gp := make([]int32, len(u))
+			copy(gp, u)
+			tr.GroupParents = append(tr.GroupParents, gp)
+			for _, p := range gp {
+				tr.ParentGroups[p] = append(tr.ParentGroups[p], gid)
+			}
+		}
+		tr.ChildGroup[c] = gid
+		tr.Groups[gid] = append(tr.Groups[gid], int32(c))
+	}
+	return tr
+}
+
+// DepCount returns the number of distinct parents child must wait for.
+func (tr *Transition) DepCount(child int32) int {
+	return len(tr.GroupParents[tr.ChildGroup[child]])
+}
+
+// Children returns the distinct children of parent, ascending: the union
+// of the member lists of every sibling group the parent feeds.
+func (tr *Transition) Children(parent int32) []int32 {
+	groups := tr.ParentGroups[parent]
+	if len(groups) == 1 {
+		return tr.Groups[groups[0]]
+	}
+	var out []int32
+	for _, g := range groups {
+		out = append(out, tr.Groups[g]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Group membership is a partition, so no dedupe is needed.
+	return out
+}
+
+// NumGroups returns the number of sibling groups in the transition.
+func (tr *Transition) NumGroups() int { return len(tr.Groups) }

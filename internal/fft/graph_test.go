@@ -1,0 +1,156 @@
+package fft
+
+import "testing"
+
+func TestTransitionRegularShape(t *testing.T) {
+	// Regular transition: every child has exactly P parents, every
+	// sibling group has P members, and each parent feeds exactly one
+	// group (section IV-A2's shared-counter observation).
+	pl := mustPlan(t, 1<<18, 64)
+	for stage := 0; stage < pl.NumStages-1; stage++ {
+		tr := pl.BuildTransition(stage)
+		if got := tr.NumGroups(); got != pl.TasksPerStage/64 {
+			t.Fatalf("stage %d: %d groups, want %d", stage, got, pl.TasksPerStage/64)
+		}
+		for g, members := range tr.Groups {
+			if len(members) != 64 {
+				t.Fatalf("stage %d group %d has %d members, want 64", stage, g, len(members))
+			}
+			if len(tr.GroupParents[g]) != 64 {
+				t.Fatalf("stage %d group %d has %d parents, want 64", stage, g, len(tr.GroupParents[g]))
+			}
+		}
+		for p, groups := range tr.ParentGroups {
+			if len(groups) != 1 {
+				t.Fatalf("stage %d parent %d feeds %d groups, want 1", stage, p, len(groups))
+			}
+		}
+	}
+}
+
+func TestTransitionChildrenMatchPaperFormula(t *testing.T) {
+	// The paper's Get_child_id: the k-th child of codelet i in stage j is
+	// l = ⌊i/64^{j+1}⌋·64^{j+1} + (i mod 64^{j+1}) mod 64^j + k·64^j.
+	pl := mustPlan(t, 1<<18, 64)
+	for stage := 0; stage < pl.NumStages-1; stage++ {
+		tr := pl.BuildTransition(stage)
+		sj := int64(1) << (6 * stage)
+		sj1 := sj * 64
+		for _, parent := range []int32{0, 1, 80, 4095} {
+			got := tr.Children(parent)
+			if len(got) != 64 {
+				t.Fatalf("stage %d parent %d: %d children, want 64", stage, parent, len(got))
+			}
+			want := make(map[int32]bool, 64)
+			i := int64(parent)
+			for k := int64(0); k < 64; k++ {
+				want[int32(i/sj1*sj1+(i%sj1)%sj+k*sj)] = true
+			}
+			for _, c := range got {
+				if !want[c] {
+					t.Fatalf("stage %d parent %d: unexpected child %d", stage, parent, c)
+				}
+			}
+		}
+	}
+}
+
+func TestTransitionIrregularLastStage(t *testing.T) {
+	// N=2^15, P=64: stage 1→2 is irregular (last stage has 3 levels).
+	pl := mustPlan(t, 1<<15, 64)
+	tr := pl.BuildTransition(1)
+
+	// Every child belongs to exactly one group and its dep count equals
+	// its group's parent count.
+	counted := 0
+	for g, members := range tr.Groups {
+		counted += len(members)
+		for _, c := range members {
+			if tr.ChildGroup[c] != int32(g) {
+				t.Fatalf("child %d group mismatch", c)
+			}
+			if tr.DepCount(c) != len(tr.GroupParents[g]) {
+				t.Fatalf("child %d dep count mismatch", c)
+			}
+		}
+	}
+	if counted != pl.TasksPerStage {
+		t.Fatalf("groups cover %d children, want %d", counted, pl.TasksPerStage)
+	}
+
+	// Cross-check dependence sets against a brute-force element map.
+	idx := make([]int64, 64)
+	for c := 0; c < pl.TasksPerStage; c++ {
+		pl.TaskIndices(2, c, idx)
+		want := make(map[int32]bool)
+		for _, g := range idx {
+			want[int32(pl.TaskOf(1, g))] = true
+		}
+		gp := tr.GroupParents[tr.ChildGroup[c]]
+		if len(gp) != len(want) {
+			t.Fatalf("child %d: %d parents, want %d", c, len(gp), len(want))
+		}
+		for _, p := range gp {
+			if !want[p] {
+				t.Fatalf("child %d: spurious parent %d", c, p)
+			}
+		}
+	}
+}
+
+func TestTransitionParentChildSymmetry(t *testing.T) {
+	for _, cfg := range []struct{ n, p int }{{1 << 12, 64}, {1 << 15, 64}, {1 << 10, 8}, {1 << 9, 16}} {
+		pl := mustPlan(t, cfg.n, cfg.p)
+		for stage := 0; stage < pl.NumStages-1; stage++ {
+			tr := pl.BuildTransition(stage)
+			// p ∈ GroupParents[g] ⇔ g ∈ ParentGroups[p]
+			for g, parents := range tr.GroupParents {
+				for _, p := range parents {
+					found := false
+					for _, pg := range tr.ParentGroups[p] {
+						if pg == int32(g) {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("N=%d P=%d stage %d: asymmetric edge parent %d group %d",
+							cfg.n, cfg.p, stage, p, g)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTransitionLastStagePanics(t *testing.T) {
+	pl := mustPlan(t, 1<<12, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BuildTransition on last stage did not panic")
+		}
+	}()
+	pl.BuildTransition(pl.NumStages - 1)
+}
+
+func TestTransitionDependencesRespectDataflow(t *testing.T) {
+	// Fundamental safety property: every element a child reads was
+	// written by some task in its parent set (via its sibling group).
+	pl := mustPlan(t, 1<<13, 8) // irregular: 13 mod 3 = 1 level last stage
+	idx := make([]int64, pl.P)
+	for stage := 0; stage < pl.NumStages-1; stage++ {
+		tr := pl.BuildTransition(stage)
+		for c := 0; c < pl.TasksPerStage; c++ {
+			gp := tr.GroupParents[tr.ChildGroup[c]]
+			set := make(map[int32]bool, len(gp))
+			for _, p := range gp {
+				set[p] = true
+			}
+			pl.TaskIndices(stage+1, c, idx)
+			for _, g := range idx {
+				if !set[int32(pl.TaskOf(stage, g))] {
+					t.Fatalf("stage %d child %d reads element %d outside its parent set", stage, c, g)
+				}
+			}
+		}
+	}
+}

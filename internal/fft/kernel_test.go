@@ -1,0 +1,184 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformMatchesDFTAcrossSizes(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 64, 128, 512, 2048} {
+		for _, p := range []int{2, 4, 8, 16, 64} {
+			if p > n {
+				continue
+			}
+			pl := mustPlan(t, n, p)
+			x := randomSignal(n, int64(n*1000+p))
+			data := make([]complex128, n)
+			copy(data, x)
+			pl.Transform(data, Twiddles(n))
+			want := DFT(x)
+			if err := MaxError(data, want); err > 1e-7 {
+				t.Fatalf("N=%d P=%d: plan transform error %g vs DFT", n, p, err)
+			}
+		}
+	}
+}
+
+func TestTransformMatchesRecursiveLarge(t *testing.T) {
+	// Sizes with irregular last stages (log2 N not a multiple of 6).
+	for _, n := range []int{1 << 13, 1 << 14, 1 << 15, 1 << 16} {
+		pl := mustPlan(t, n, 64)
+		x := randomSignal(n, int64(n))
+		data := make([]complex128, n)
+		copy(data, x)
+		pl.Transform(data, Twiddles(n))
+		want := Recursive(x)
+		if err := MaxError(data, want); err > 1e-6 {
+			t.Fatalf("N=%d: transform error %g vs recursive FFT", n, err)
+		}
+	}
+}
+
+func TestTransformWithHashedTwiddles(t *testing.T) {
+	// Reading the twiddles through the bit-reversal hash must not change
+	// the numbers, only the addresses.
+	n := 1 << 12
+	pl := mustPlan(t, n, 64)
+	w := Twiddles(n)
+	hashed := HashTwiddles(w)
+	width := Log2(len(w))
+
+	x := randomSignal(n, 5)
+	plain := make([]complex128, n)
+	copy(plain, x)
+	pl.Transform(plain, w)
+
+	data := make([]complex128, n)
+	copy(data, x)
+	BitReversePermute(data)
+	sc := NewScratch(pl)
+	at := func(i int64) int64 { return BitReverse(i, width) }
+	for stage := 0; stage < pl.NumStages; stage++ {
+		for task := 0; task < pl.TasksPerStage; task++ {
+			pl.RunTask(stage, task, data, hashed, at, sc)
+		}
+	}
+	if err := MaxError(data, plain); err > 1e-12 {
+		t.Fatalf("hashed-twiddle transform diverges: %g", err)
+	}
+}
+
+func TestTransformTaskOrderIndependenceWithinStage(t *testing.T) {
+	// Tasks within a stage touch disjoint elements, so any execution
+	// order gives the same result — the property fine-grain scheduling
+	// relies on.
+	n := 1 << 10
+	pl := mustPlan(t, n, 16)
+	w := Twiddles(n)
+	x := randomSignal(n, 6)
+
+	forward := make([]complex128, n)
+	copy(forward, x)
+	pl.Transform(forward, w)
+
+	data := make([]complex128, n)
+	copy(data, x)
+	BitReversePermute(data)
+	sc := NewScratch(pl)
+	rng := rand.New(rand.NewSource(8))
+	for stage := 0; stage < pl.NumStages; stage++ {
+		order := rng.Perm(pl.TasksPerStage)
+		for _, task := range order {
+			pl.RunTask(stage, task, data, w, nil, sc)
+		}
+	}
+	if err := MaxError(data, forward); err > 1e-12 {
+		t.Fatalf("shuffled task order changed the result: %g", err)
+	}
+}
+
+func TestInverseTransformRoundTrip(t *testing.T) {
+	for _, cfg := range []struct{ n, p int }{{1 << 10, 64}, {1 << 13, 64}, {256, 8}} {
+		pl := mustPlan(t, cfg.n, cfg.p)
+		w := Twiddles(cfg.n)
+		x := randomSignal(cfg.n, 11)
+		data := make([]complex128, cfg.n)
+		copy(data, x)
+		pl.Transform(data, w)
+		pl.InverseTransform(data, w)
+		if err := MaxError(data, x); err > 1e-9 {
+			t.Fatalf("N=%d P=%d roundtrip error %g", cfg.n, cfg.p, err)
+		}
+	}
+}
+
+func TestButterfliesSingleLevel(t *testing.T) {
+	// One radix-2 butterfly with W=1: (a,b) -> (a+b, a-b).
+	buf := []complex128{3 + 1i, 1 + 1i}
+	tw := []complex128{1}
+	flops := Butterflies(buf, tw, 1)
+	if buf[0] != 4+2i || buf[1] != 2 {
+		t.Fatalf("butterfly = %v", buf)
+	}
+	if flops != 10 {
+		t.Fatalf("flops = %d, want 10", flops)
+	}
+}
+
+func TestButterfliesPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Butterflies(make([]complex128, 3), make([]complex128, 4), 2) },
+		func() { Butterflies(make([]complex128, 4), make([]complex128, 1), 2) },
+		func() { TaskButterflies(make([]complex128, 6), make([]complex128, 8), 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: the staged transform is linear for any plan shape.
+func TestTransformLinearityProperty(t *testing.T) {
+	pl := mustPlan(t, 256, 16)
+	w := Twiddles(256)
+	f := func(seedA, seedB int64) bool {
+		a := randomSignal(256, seedA)
+		b := randomSignal(256, seedB)
+		sum := make([]complex128, 256)
+		for i := range sum {
+			sum[i] = a[i] + b[i]
+		}
+		pl.Transform(a, w)
+		pl.Transform(b, w)
+		pl.Transform(sum, w)
+		for i := range sum {
+			if d := sum[i] - a[i] - b[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTransform64pt(b *testing.B) {
+	n := 1 << 15
+	pl, _ := NewPlan(n, 64)
+	w := Twiddles(n)
+	x := randomSignal(n, 1)
+	data := make([]complex128, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(data, x)
+		pl.Transform(data, w)
+	}
+	b.SetBytes(int64(n) * 16)
+}

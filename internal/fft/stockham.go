@@ -1,0 +1,41 @@
+package fft
+
+// Stockham computes the FFT with the radix-2 Stockham autosort algorithm,
+// which interleaves the reordering into the butterfly stages and so needs
+// no bit-reversal pass (at the cost of ping-ponging between two buffers).
+// The paper's related work (Lloyd, Govindaraju) uses it on GPUs precisely
+// because it keeps memory accesses contiguous; it serves here as an
+// independent baseline implementation and as the natural counterpoint to
+// the Cooley-Tukey + bit-reversal decomposition the paper schedules.
+func Stockham(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		panic("fft: Stockham requires a power-of-two length")
+	}
+	src := append([]complex128(nil), x...)
+	dst := make([]complex128, n)
+	if n == 1 {
+		return src
+	}
+	w := Twiddles(n)
+
+	// Stage s transforms blocks of length l = 2^s; reading with stride
+	// n/2 and writing contiguously performs the implicit transpose.
+	l := 1
+	for l < n {
+		half := n / 2
+		step := n / (2 * l) // twiddle index stride at this stage
+		for j := 0; j < l; j++ {
+			wj := w[j*step]
+			for k := 0; k < half/l; k++ {
+				a := src[k*l+j]
+				b := src[half+k*l+j] * wj
+				dst[2*k*l+j] = a + b
+				dst[(2*k+1)*l+j] = a - b
+			}
+		}
+		src, dst = dst, src
+		l *= 2
+	}
+	return src
+}

@@ -1,0 +1,43 @@
+package fft
+
+import "testing"
+
+func TestStockhamMatchesDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 256, 1024} {
+		x := randomSignal(n, int64(n+77))
+		if err := MaxError(Stockham(x), DFT(x)); err > 1e-8*float64(n) {
+			t.Fatalf("n=%d: Stockham vs DFT error %g", n, err)
+		}
+	}
+}
+
+func TestStockhamMatchesStagedPlan(t *testing.T) {
+	n := 1 << 13
+	x := randomSignal(n, 5)
+	pl := mustPlan(t, n, 64)
+	staged := append([]complex128(nil), x...)
+	pl.Transform(staged, Twiddles(n))
+	if err := MaxError(Stockham(x), staged); err > 1e-7 {
+		t.Fatalf("Stockham vs staged plan error %g", err)
+	}
+}
+
+func TestStockhamDoesNotMutateInput(t *testing.T) {
+	x := randomSignal(64, 9)
+	orig := append([]complex128(nil), x...)
+	Stockham(x)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("input mutated")
+		}
+	}
+}
+
+func TestStockhamRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length 6 accepted")
+		}
+	}()
+	Stockham(make([]complex128, 6))
+}

@@ -1,0 +1,131 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwiddlesValues(t *testing.T) {
+	w := Twiddles(8)
+	if len(w) != 4 {
+		t.Fatalf("len = %d, want 4", len(w))
+	}
+	want := []complex128{
+		1,
+		complex(math.Sqrt2/2, -math.Sqrt2/2),
+		complex(0, -1),
+		complex(-math.Sqrt2/2, -math.Sqrt2/2),
+	}
+	for i := range want {
+		if cmplx.Abs(w[i]-want[i]) > 1e-12 {
+			t.Errorf("W[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+}
+
+func TestTwiddlesUnitModulus(t *testing.T) {
+	for _, mag := range Twiddles(1 << 10) {
+		if math.Abs(cmplx.Abs(mag)-1) > 1e-12 {
+			t.Fatalf("twiddle off the unit circle: %v", mag)
+		}
+	}
+}
+
+func TestTwiddlesRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Twiddles(%d) did not panic", n)
+				}
+			}()
+			Twiddles(n)
+		}()
+	}
+}
+
+func TestBitReverseKnown(t *testing.T) {
+	cases := []struct {
+		x     int64
+		width int
+		want  int64
+	}{
+		{0, 4, 0}, {1, 4, 8}, {2, 4, 4}, {3, 4, 12},
+		{0b1011, 4, 0b1101}, {1, 1, 1}, {1, 10, 512}, {5, 0, 0},
+	}
+	for _, c := range cases {
+		if got := BitReverse(c.x, c.width); got != c.want {
+			t.Errorf("BitReverse(%d,%d) = %d, want %d", c.x, c.width, got, c.want)
+		}
+	}
+}
+
+func TestBitReverseInvolution(t *testing.T) {
+	f := func(x uint16, w uint8) bool {
+		width := int(w)%16 + 1
+		v := int64(x) & ((1 << width) - 1)
+		return BitReverse(BitReverse(v, width), width) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitReverseIsPermutation(t *testing.T) {
+	const width = 8
+	seen := make(map[int64]bool)
+	for i := int64(0); i < 1<<width; i++ {
+		r := BitReverse(i, width)
+		if r < 0 || r >= 1<<width {
+			t.Fatalf("BitReverse(%d) = %d out of range", i, r)
+		}
+		if seen[r] {
+			t.Fatalf("BitReverse collision at %d", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestHashTwiddlesPermutes(t *testing.T) {
+	w := Twiddles(64)
+	h := HashTwiddles(w)
+	if len(h) != len(w) {
+		t.Fatal("length changed")
+	}
+	// Every original value appears exactly once at its reversed index.
+	width := Log2(len(w))
+	for i := range w {
+		if h[BitReverse(int64(i), width)] != w[i] {
+			t.Fatalf("hash table misplaced W[%d]", i)
+		}
+	}
+}
+
+func TestBitReversePermuteInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]complex128, 256)
+	orig := make([]complex128, 256)
+	for i := range data {
+		data[i] = complex(rng.Float64(), rng.Float64())
+		orig[i] = data[i]
+	}
+	BitReversePermute(data)
+	BitReversePermute(data)
+	for i := range data {
+		if data[i] != orig[i] {
+			t.Fatalf("double permute is not identity at %d", i)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 64: 6, 1 << 20: 20, 0: -1, 3: -1, -8: -1, 96: -1}
+	for n, want := range cases {
+		if got := Log2(n); got != want {
+			t.Errorf("Log2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

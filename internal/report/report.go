@@ -1,0 +1,186 @@
+// Package report renders experiment results as CSV files, aligned text
+// tables, and ASCII line charts, so every figure of the paper can be
+// regenerated into results/ without plotting dependencies.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of a chart: X and Y must have equal length.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// WriteCSV emits one column per series (plus the first series' X as the
+// leading column). Series may have different lengths; short ones leave
+// blanks.
+func WriteCSV(w io.Writer, xLabel string, series []Series) error {
+	cols := []string{xLabel}
+	maxLen := 0
+	for _, s := range series {
+		cols = append(cols, s.Name)
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q has %d x values but %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.Y) > maxLen {
+			maxLen = len(s.Y)
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, 0, len(series)+1)
+		if len(series) > 0 && i < len(series[0].X) {
+			row = append(row, formatNum(series[0].X[i]))
+		} else {
+			row = append(row, "")
+		}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, formatNum(s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+// Chart renders series as a fixed-size ASCII line chart with a legend.
+// Each series is drawn with its own glyph; overlapping points show the
+// later series.
+func Chart(w io.Writer, title, xLabel, yLabel string, series []Series, width, height int) error {
+	if width < 16 || height < 4 {
+		return fmt.Errorf("report: chart too small (%dx%d)", width, height)
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xMin, xMax = math.Min(xMin, s.X[i]), math.Max(xMax, s.X[i])
+			yMin, yMax = math.Min(yMin, s.Y[i]), math.Max(yMax, s.Y[i])
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		return fmt.Errorf("report: no data to chart")
+	}
+	if yMin > 0 && yMin < yMax/2 {
+		// keep natural floor
+	} else if yMin > 0 {
+		yMin = 0
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			c := int(math.Round((s.X[i] - xMin) / (xMax - xMin) * float64(width-1)))
+			r := int(math.Round((s.Y[i] - yMin) / (yMax - yMin) * float64(height-1)))
+			grid[height-1-r][c] = g
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%s (y: %.3g..%.3g)\n", yLabel, yMin, yMax)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s|\n", row)
+	}
+	fmt.Fprintf(w, "  +%s+\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "   %s: %.3g..%.3g\n", xLabel, xMin, xMax)
+	for si, s := range series {
+		fmt.Fprintf(w, "   %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return nil
+}
+
+// Table renders rows as an aligned text table.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells (stringified with %v).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Headers)); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(rule)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SortSeriesByName orders series alphabetically for stable output.
+func SortSeriesByName(series []Series) {
+	sort.Slice(series, func(i, j int) bool { return series[i].Name < series[j].Name })
+}

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, "n", []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}},
+		{Name: "b", X: []float64{1, 2}, Y: []float64{1.5, 2.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "n,a,b\n1,10,1.5\n2,20,2.5\n3,30,\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteCSVLengthMismatch(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, "n", []Series{{Name: "a", X: []float64{1}, Y: []float64{1, 2}}})
+	if err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	var b strings.Builder
+	err := Chart(&b, "perf", "N", "GFLOPS", []Series{
+		{Name: "coarse", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 3, 4}},
+		{Name: "fine", X: []float64{1, 2, 3, 4}, Y: []float64{2, 3, 4, 5}},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"perf", "GFLOPS", "coarse", "fine", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if len(strings.Split(out, "\n")) < 12 {
+		t.Fatal("chart too short")
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	var b strings.Builder
+	if err := Chart(&b, "t", "x", "y", nil, 40, 10); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	if err := Chart(&b, "t", "x", "y", nil, 2, 2); err == nil {
+		t.Fatal("tiny chart accepted")
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	// Constant series must not divide by zero.
+	var b strings.Builder
+	err := Chart(&b, "flat", "x", "y", []Series{
+		{Name: "c", X: []float64{5, 5}, Y: []float64{3, 3}},
+	}, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := &Table{Headers: []string{"variant", "gflops"}}
+	tb.AddRow("coarse", 3.14159)
+	tb.AddRow("fine guided", 4.0)
+	var b strings.Builder
+	if err := tb.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "coarse       3.142") {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+	if !strings.Contains(out, "fine guided  4.000") {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+}
+
+func TestSortSeriesByName(t *testing.T) {
+	s := []Series{{Name: "z"}, {Name: "a"}, {Name: "m"}}
+	SortSeriesByName(s)
+	if s[0].Name != "a" || s[2].Name != "z" {
+		t.Fatalf("not sorted: %v", s)
+	}
+}

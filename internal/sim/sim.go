@@ -1,0 +1,113 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine. It is the substrate on which the Cyclops-64 machine model
+// (package c64) and the codelet runtime (package codelet) are built.
+//
+// The engine is intentionally single-threaded: determinism is a hard
+// requirement for reproducing the paper's "fine worst" / "fine best"
+// scheduling experiments, so all simulated concurrency is expressed as
+// events ordered by (time, insertion sequence).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, measured in clock cycles.
+type Time int64
+
+// Event is a callback scheduled to run at a fixed simulated time.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func(now Time)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler. The zero value is
+// ready to use and starts at time 0.
+type Engine struct {
+	heap eventHeap
+	now  Time
+	seq  uint64
+}
+
+// NewEngine returns an engine starting at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// ScheduleAt registers fn to run at absolute time at. Scheduling in the
+// past panics: it would silently corrupt causality in the model.
+func (e *Engine) ScheduleAt(at Time, fn func(now Time)) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: at, seq: e.seq, fn: fn})
+}
+
+// Schedule registers fn to run delay cycles from now.
+func (e *Engine) Schedule(delay Time, fn func(now Time)) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// Step runs the earliest pending event. It reports false when no events
+// remain.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	ev.fn(e.now)
+	return true
+}
+
+// Run processes events until none remain and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil processes events with timestamps <= deadline and then advances
+// the clock to deadline. Events scheduled beyond the deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.heap) > 0 && e.heap[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	for _, at := range []Time{30, 10, 20, 10, 5} {
+		at := at
+		e.ScheduleAt(at, func(now Time) { order = append(order, now) })
+	}
+	e.Run()
+	want := []Time{5, 10, 10, 20, 30}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("event %d at %d, want %d", i, order[i], want[i])
+		}
+	}
+}
+
+func TestEngineTiesBreakByInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.ScheduleAt(42, func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.ScheduleAt(10, func(now Time) {
+		hits = append(hits, now)
+		e.Schedule(5, func(now Time) { hits = append(hits, now) })
+	})
+	end := e.Run()
+	if end != 15 {
+		t.Fatalf("end = %d, want 15", end)
+	}
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("hits = %v, want [10 15]", hits)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleAt(10, func(Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(5, func(Time) {})
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.Schedule(-1, func(Time) {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.ScheduleAt(10, func(Time) { ran++ })
+	e.ScheduleAt(20, func(Time) { ran++ })
+	e.ScheduleAt(30, func(Time) { ran++ })
+	now := e.RunUntil(20)
+	if now != 20 {
+		t.Fatalf("RunUntil returned %d, want 20", now)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	// Advancing past all events reaches the deadline even with nothing to do.
+	now = e.RunUntil(100)
+	if now != 100 || ran != 3 {
+		t.Fatalf("RunUntil(100) = %d (ran %d), want 100 (ran 3)", now, ran)
+	}
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty engine reported work")
+	}
+}
+
+// Property: for any batch of scheduled times, the engine visits them in
+// nondecreasing order and finishes at the maximum.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var seen []Time
+		var max Time
+		for _, r := range raw {
+			at := Time(r)
+			if at > max {
+				max = at
+			}
+			e.ScheduleAt(at, func(now Time) { seen = append(seen, now) })
+		}
+		end := e.Run()
+		if len(raw) > 0 && end != max {
+			return false
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineIdleStartsImmediately(t *testing.T) {
+	var tl Timeline
+	start, done := tl.Acquire(100, 25)
+	if start != 100 || done != 125 {
+		t.Fatalf("Acquire = (%d,%d), want (100,125)", start, done)
+	}
+}
+
+func TestTimelineQueuesFIFO(t *testing.T) {
+	var tl Timeline
+	tl.Acquire(0, 10)
+	start, done := tl.Acquire(0, 10)
+	if start != 10 || done != 20 {
+		t.Fatalf("second Acquire = (%d,%d), want (10,20)", start, done)
+	}
+	// Arriving after the frontier starts immediately.
+	start, done = tl.Acquire(50, 5)
+	if start != 50 || done != 55 {
+		t.Fatalf("third Acquire = (%d,%d), want (50,55)", start, done)
+	}
+}
+
+func TestTimelineBusyAccounting(t *testing.T) {
+	var tl Timeline
+	tl.Acquire(0, 10)
+	tl.Acquire(0, 20)
+	tl.Acquire(100, 5)
+	if tl.Busy() != 35 {
+		t.Fatalf("Busy() = %d, want 35", tl.Busy())
+	}
+	if tl.Served() != 3 {
+		t.Fatalf("Served() = %d, want 3", tl.Served())
+	}
+	if got := tl.Utilization(350); got != 0.1 {
+		t.Fatalf("Utilization = %v, want 0.1", got)
+	}
+}
+
+func TestTimelineZeroService(t *testing.T) {
+	var tl Timeline
+	start, done := tl.Acquire(7, 0)
+	if start != 7 || done != 7 {
+		t.Fatalf("zero-service Acquire = (%d,%d), want (7,7)", start, done)
+	}
+}
+
+func TestTimelineNegativeServicePanics(t *testing.T) {
+	var tl Timeline
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative service did not panic")
+		}
+	}()
+	tl.Acquire(0, -1)
+}
+
+func TestTimelineReset(t *testing.T) {
+	var tl Timeline
+	tl.Acquire(0, 100)
+	tl.Reset()
+	if tl.NextFree() != 0 || tl.Busy() != 0 || tl.Served() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+// Property: total busy time equals the sum of service times, and the
+// completion frontier never moves backward, for arbitrary arrival patterns.
+func TestTimelineConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		var tl Timeline
+		var sum Time
+		var now Time
+		var lastDone Time
+		for i := 0; i < 200; i++ {
+			now += Time(rng.Intn(10))
+			svc := Time(rng.Intn(20))
+			sum += svc
+			start, done := tl.Acquire(now, svc)
+			if start < now {
+				t.Fatalf("start %d before arrival %d", start, now)
+			}
+			if done < lastDone {
+				t.Fatalf("completion moved backward: %d after %d", done, lastDone)
+			}
+			if done-start != svc {
+				t.Fatalf("service stretched: %d want %d", done-start, svc)
+			}
+			lastDone = done
+		}
+		if tl.Busy() != sum {
+			t.Fatalf("busy %d != service sum %d", tl.Busy(), sum)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+// Timeline models an exclusive FIFO-served resource — a DRAM port, a lock,
+// a hardware barrier network — as an occupancy frontier. A request that
+// arrives at time t and needs s cycles of service starts at
+// max(t, nextFree), finishes at start+s, and pushes nextFree forward.
+//
+// This is a G/G/1 queue evaluated analytically: because the discrete-event
+// engine delivers requests in nondecreasing time order at phase
+// granularity, the frontier update is exact for FIFO service.
+type Timeline struct {
+	nextFree Time
+	busy     Time // total cycles spent serving requests
+	served   int64
+}
+
+// Acquire reserves service cycles starting no earlier than at.
+// It returns the start and completion times of the request.
+func (tl *Timeline) Acquire(at Time, service Time) (start, done Time) {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	start = at
+	if tl.nextFree > start {
+		start = tl.nextFree
+	}
+	done = start + service
+	tl.nextFree = done
+	tl.busy += service
+	tl.served++
+	return start, done
+}
+
+// NextFree returns the earliest time a new request could begin service.
+func (tl *Timeline) NextFree() Time { return tl.nextFree }
+
+// Busy returns the cumulative cycles this resource spent serving requests.
+func (tl *Timeline) Busy() Time { return tl.busy }
+
+// Served returns the number of requests this resource has served.
+func (tl *Timeline) Served() int64 { return tl.served }
+
+// Reset clears the timeline to an idle state at time zero.
+func (tl *Timeline) Reset() { *tl = Timeline{} }
+
+// Utilization returns busy cycles divided by the elapsed horizon.
+func (tl *Timeline) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(tl.busy) / float64(horizon)
+}

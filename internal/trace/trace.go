@@ -1,0 +1,158 @@
+// Package trace collects per-bank DRAM access-rate time series — the
+// measurement behind the paper's Figures 1, 2 and 6, which plot the
+// number of memory accesses each off-chip bank serves per 3×10⁶-cycle
+// window over the life of the FFT.
+package trace
+
+import (
+	"fmt"
+
+	"codeletfft/internal/c64"
+	"codeletfft/internal/sim"
+)
+
+// BankTrace bins DRAM traffic per bank into fixed-width cycle windows.
+// It implements c64.Tracer. Accesses are counted in 8-byte words, the
+// access granularity of C64 thread units.
+type BankTrace struct {
+	BinCycles sim.Time
+	banks     int
+	bins      [][]int64 // bins[w][bank] = accesses in window w
+	loads     int64
+	stores    int64
+}
+
+// NewBankTrace creates a trace with the given window width in cycles.
+func NewBankTrace(banks int, binCycles sim.Time) *BankTrace {
+	if banks <= 0 || binCycles <= 0 {
+		panic("trace: banks and binCycles must be positive")
+	}
+	return &BankTrace{BinCycles: binCycles, banks: banks}
+}
+
+var _ c64.Tracer = (*BankTrace)(nil)
+
+// RecordDRAM accumulates one transfer slice into its time window.
+func (t *BankTrace) RecordDRAM(bank int, at sim.Time, bytes int64, kind c64.Kind) {
+	if bank < 0 || bank >= t.banks {
+		panic(fmt.Sprintf("trace: bank %d out of range", bank))
+	}
+	w := int(at / t.BinCycles)
+	for len(t.bins) <= w {
+		t.bins = append(t.bins, make([]int64, t.banks))
+	}
+	t.bins[w][bank] += bytes / 8
+	if kind == c64.Load {
+		t.loads += bytes / 8
+	} else {
+		t.stores += bytes / 8
+	}
+}
+
+// Banks returns the number of banks traced.
+func (t *BankTrace) Banks() int { return t.banks }
+
+// Windows returns the number of time windows with data (including any
+// interior empty ones).
+func (t *BankTrace) Windows() int { return len(t.bins) }
+
+// At returns the access count of bank in window w (0 if out of range).
+func (t *BankTrace) At(w, bank int) int64 {
+	if w < 0 || w >= len(t.bins) {
+		return 0
+	}
+	return t.bins[w][bank]
+}
+
+// Series returns one access-count series per bank, all of equal length.
+func (t *BankTrace) Series() [][]int64 {
+	out := make([][]int64, t.banks)
+	for b := range out {
+		s := make([]int64, len(t.bins))
+		for w := range t.bins {
+			s[w] = t.bins[w][b]
+		}
+		out[b] = s
+	}
+	return out
+}
+
+// Totals returns cumulative accesses per bank.
+func (t *BankTrace) Totals() []int64 {
+	out := make([]int64, t.banks)
+	for _, bin := range t.bins {
+		for b, v := range bin {
+			out[b] += v
+		}
+	}
+	return out
+}
+
+// LoadWords and StoreWords return cumulative traffic split by kind.
+func (t *BankTrace) LoadWords() int64  { return t.loads }
+func (t *BankTrace) StoreWords() int64 { return t.stores }
+
+// Rebin returns a copy of the trace aggregated into exactly want windows
+// (or fewer if the trace is shorter), for rendering fixed-width charts.
+func (t *BankTrace) Rebin(want int) *BankTrace {
+	if want <= 0 {
+		panic("trace: want must be positive")
+	}
+	if len(t.bins) <= want {
+		cp := &BankTrace{BinCycles: t.BinCycles, banks: t.banks, loads: t.loads, stores: t.stores}
+		cp.bins = make([][]int64, len(t.bins))
+		for i := range t.bins {
+			cp.bins[i] = append([]int64(nil), t.bins[i]...)
+		}
+		return cp
+	}
+	factor := (len(t.bins) + want - 1) / want
+	out := &BankTrace{BinCycles: t.BinCycles * sim.Time(factor), banks: t.banks, loads: t.loads, stores: t.stores}
+	out.bins = make([][]int64, (len(t.bins)+factor-1)/factor)
+	for i := range out.bins {
+		out.bins[i] = make([]int64, t.banks)
+	}
+	for w, bin := range t.bins {
+		for b, v := range bin {
+			out.bins[w/factor][b] += v
+		}
+	}
+	return out
+}
+
+// SkewSummary describes how unbalanced the banks were over a window range:
+// the ratio of the hottest bank's traffic to the mean of the others.
+func (t *BankTrace) SkewSummary(fromFrac, toFrac float64) float64 {
+	n := len(t.bins)
+	lo, hi := int(fromFrac*float64(n)), int(toFrac*float64(n))
+	if hi > n {
+		hi = n
+	}
+	tot := make([]int64, t.banks)
+	for w := lo; w < hi; w++ {
+		for b, v := range t.bins[w] {
+			tot[b] += v
+		}
+	}
+	var maxV int64
+	maxB := 0
+	for b, v := range tot {
+		if v > maxV {
+			maxV, maxB = v, b
+		}
+	}
+	var rest int64
+	for b, v := range tot {
+		if b != maxB {
+			rest += v
+		}
+	}
+	if rest == 0 {
+		if maxV == 0 {
+			return 1
+		}
+		return float64(maxV)
+	}
+	mean := float64(rest) / float64(t.banks-1)
+	return float64(maxV) / mean
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"testing"
+
+	"codeletfft/internal/c64"
+	"codeletfft/internal/sim"
+)
+
+func TestRecordBinsByTime(t *testing.T) {
+	tr := NewBankTrace(4, 100)
+	tr.RecordDRAM(0, 0, 80, c64.Load)    // window 0: 10 words
+	tr.RecordDRAM(0, 99, 8, c64.Load)    // window 0: 1 word
+	tr.RecordDRAM(1, 100, 16, c64.Store) // window 1: 2 words
+	tr.RecordDRAM(3, 250, 8, c64.Load)   // window 2
+
+	if tr.Windows() != 3 {
+		t.Fatalf("Windows = %d, want 3", tr.Windows())
+	}
+	if tr.At(0, 0) != 11 {
+		t.Fatalf("At(0,0) = %d, want 11", tr.At(0, 0))
+	}
+	if tr.At(1, 1) != 2 || tr.At(2, 3) != 1 {
+		t.Fatal("mis-binned records")
+	}
+	if tr.At(5, 0) != 0 || tr.At(-1, 0) != 0 {
+		t.Fatal("out-of-range At should be 0")
+	}
+	if tr.LoadWords() != 12 || tr.StoreWords() != 2 {
+		t.Fatalf("load/store words = %d/%d, want 12/2", tr.LoadWords(), tr.StoreWords())
+	}
+}
+
+func TestSeriesAndTotals(t *testing.T) {
+	tr := NewBankTrace(2, 10)
+	tr.RecordDRAM(0, 5, 8, c64.Load)
+	tr.RecordDRAM(1, 15, 16, c64.Load)
+	tr.RecordDRAM(0, 25, 24, c64.Load)
+	s := tr.Series()
+	if len(s) != 2 || len(s[0]) != 3 {
+		t.Fatalf("series shape %dx%d, want 2x3", len(s), len(s[0]))
+	}
+	want0 := []int64{1, 0, 3}
+	for i, v := range want0 {
+		if s[0][i] != v {
+			t.Fatalf("bank 0 series = %v, want %v", s[0], want0)
+		}
+	}
+	tot := tr.Totals()
+	if tot[0] != 4 || tot[1] != 2 {
+		t.Fatalf("totals = %v, want [4 2]", tot)
+	}
+}
+
+func TestRebin(t *testing.T) {
+	tr := NewBankTrace(1, 1)
+	for i := 0; i < 100; i++ {
+		tr.RecordDRAM(0, int64ToTime(i), 8, c64.Load)
+	}
+	r := tr.Rebin(10)
+	if r.Windows() != 10 {
+		t.Fatalf("rebinned windows = %d, want 10", r.Windows())
+	}
+	for w := 0; w < 10; w++ {
+		if r.At(w, 0) != 10 {
+			t.Fatalf("rebinned At(%d) = %d, want 10", w, r.At(w, 0))
+		}
+	}
+	// Rebin to more windows than exist returns an unchanged copy.
+	same := tr.Rebin(500)
+	if same.Windows() != 100 || same.At(42, 0) != 1 {
+		t.Fatal("no-op rebin altered data")
+	}
+	// Totals are conserved.
+	if r.Totals()[0] != tr.Totals()[0] {
+		t.Fatal("rebin lost traffic")
+	}
+}
+
+func TestSkewSummary(t *testing.T) {
+	tr := NewBankTrace(4, 10)
+	// Bank 0 gets 3x the traffic of each other bank.
+	for w := 0; w < 10; w++ {
+		at := int64ToTime(w * 10)
+		tr.RecordDRAM(0, at, 8*30, c64.Load)
+		for b := 1; b < 4; b++ {
+			tr.RecordDRAM(b, at, 8*10, c64.Load)
+		}
+	}
+	skew := tr.SkewSummary(0, 1)
+	if skew < 2.9 || skew > 3.1 {
+		t.Fatalf("skew = %v, want ≈3", skew)
+	}
+	// Balanced traffic → skew ≈ 1.
+	bal := NewBankTrace(4, 10)
+	for b := 0; b < 4; b++ {
+		bal.RecordDRAM(b, 0, 80, c64.Load)
+	}
+	if s := bal.SkewSummary(0, 1); s < 0.99 || s > 1.01 {
+		t.Fatalf("balanced skew = %v, want 1", s)
+	}
+	// Empty trace degenerates to 1.
+	if s := NewBankTrace(4, 10).SkewSummary(0, 1); s != 1 {
+		t.Fatalf("empty skew = %v, want 1", s)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewBankTrace(0, 10) },
+		func() { NewBankTrace(4, 0) },
+		func() { NewBankTrace(4, 10).RecordDRAM(4, 0, 8, c64.Load) },
+		func() { NewBankTrace(4, 10).Rebin(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func int64ToTime(i int) sim.Time { return sim.Time(i) }

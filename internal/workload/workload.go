@@ -1,0 +1,116 @@
+// Package workload generates deterministic input signals for examples,
+// tests and benchmarks: impulses, tones, chirps, and noisy mixtures that
+// exercise the FFT on recognizable spectra.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Impulse returns a unit impulse at position pos.
+func Impulse(n, pos int) []complex128 {
+	if pos < 0 || pos >= n {
+		panic(fmt.Sprintf("workload: impulse position %d out of [0,%d)", pos, n))
+	}
+	x := make([]complex128, n)
+	x[pos] = 1
+	return x
+}
+
+// Constant returns a constant signal of amplitude amp.
+func Constant(n int, amp float64) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(amp, 0)
+	}
+	return x
+}
+
+// Gaussian returns seeded complex white noise with the given standard
+// deviation per component.
+func Gaussian(n int, sigma float64, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	return x
+}
+
+// Tone describes one complex exponential component.
+type Tone struct {
+	Bin       int     // frequency bin (cycles per record)
+	Amplitude float64 // linear amplitude
+	Phase     float64 // radians
+}
+
+// Mix synthesizes a sum of tones plus optional Gaussian noise.
+func Mix(n int, tones []Tone, noiseSigma float64, seed int64) []complex128 {
+	var x []complex128
+	if noiseSigma > 0 {
+		x = Gaussian(n, noiseSigma, seed)
+	} else {
+		x = make([]complex128, n)
+	}
+	for _, t := range tones {
+		for i := 0; i < n; i++ {
+			ang := 2*math.Pi*float64(t.Bin)*float64(i)/float64(n) + t.Phase
+			x[i] += complex(t.Amplitude*math.Cos(ang), t.Amplitude*math.Sin(ang))
+		}
+	}
+	return x
+}
+
+// Chirp returns a linear frequency sweep whose instantaneous frequency
+// moves from bin f0 to bin f1 across the record: the discrete phase is
+// φ[i] = 2π/n · (f0·i + (f1−f0)·i²/(2n)).
+func Chirp(n int, f0, f1 float64) []complex128 {
+	x := make([]complex128, n)
+	fn := float64(n)
+	for i := 0; i < n; i++ {
+		t := float64(i)
+		phase := 2 * math.Pi / fn * (f0*t + (f1-f0)*t*t/(2*fn))
+		x[i] = complex(math.Cos(phase), math.Sin(phase))
+	}
+	return x
+}
+
+// PowerSpectrum returns |X[k]|² for a spectrum X.
+func PowerSpectrum(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	return out
+}
+
+// TopBins returns the k bin indices with the largest power, descending.
+func TopBins(power []float64, k int) []int {
+	type bin struct {
+		idx int
+		p   float64
+	}
+	bins := make([]bin, len(power))
+	for i, p := range power {
+		bins[i] = bin{i, p}
+	}
+	for i := 0; i < k && i < len(bins); i++ {
+		maxJ := i
+		for j := i + 1; j < len(bins); j++ {
+			if bins[j].p > bins[maxJ].p {
+				maxJ = j
+			}
+		}
+		bins[i], bins[maxJ] = bins[maxJ], bins[i]
+	}
+	if k > len(bins) {
+		k = len(bins)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = bins[i].idx
+	}
+	return out
+}

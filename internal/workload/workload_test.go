@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"codeletfft/internal/fft"
+)
+
+func TestImpulse(t *testing.T) {
+	x := Impulse(8, 3)
+	for i, v := range x {
+		want := complex128(0)
+		if i == 3 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("x[%d] = %v", i, v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range impulse accepted")
+		}
+	}()
+	Impulse(8, 8)
+}
+
+func TestConstant(t *testing.T) {
+	for _, v := range Constant(16, 2.5) {
+		if v != 2.5 {
+			t.Fatalf("constant = %v", v)
+		}
+	}
+}
+
+func TestGaussianDeterministicAndScaled(t *testing.T) {
+	a := Gaussian(1000, 1, 7)
+	b := Gaussian(1000, 1, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different noise")
+		}
+	}
+	var sum float64
+	for _, v := range a {
+		sum += real(v)*real(v) + imag(v)*imag(v)
+	}
+	rms := math.Sqrt(sum / float64(2*len(a)))
+	if rms < 0.9 || rms > 1.1 {
+		t.Fatalf("rms = %v, want ≈1", rms)
+	}
+}
+
+func TestMixSpectrumPeaks(t *testing.T) {
+	n := 1 << 10
+	tones := []Tone{{Bin: 37, Amplitude: 4}, {Bin: 200, Amplitude: 2}}
+	x := Mix(n, tones, 0.01, 3)
+	spec := fft.Recursive(x)
+	top := TopBins(PowerSpectrum(spec), 2)
+	found := map[int]bool{top[0]: true, top[1]: true}
+	if !found[37] || !found[200] {
+		t.Fatalf("dominant bins %v, want {37, 200}", top)
+	}
+}
+
+func TestChirpEndpointsAndModulus(t *testing.T) {
+	n := 512
+	x := Chirp(n, 10, 100)
+	for i, v := range x {
+		if math.Abs(cmplx.Abs(v)-1) > 1e-12 {
+			t.Fatalf("chirp off unit circle at %d", i)
+		}
+	}
+	// Energy should be spread over roughly the swept band, not one bin.
+	spec := PowerSpectrum(fft.Recursive(x))
+	var inBand, total float64
+	for k, p := range spec {
+		total += p
+		if k >= 5 && k <= 110 {
+			inBand += p
+		}
+	}
+	if inBand/total < 0.9 {
+		t.Fatalf("only %.2f of chirp energy in swept band", inBand/total)
+	}
+}
+
+func TestTopBins(t *testing.T) {
+	p := []float64{1, 5, 3, 9, 2}
+	top := TopBins(p, 3)
+	want := []int{3, 1, 2}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("TopBins = %v, want %v", top, want)
+		}
+	}
+	if len(TopBins(p, 10)) != 5 {
+		t.Fatal("k beyond length should clamp")
+	}
+}
