@@ -204,4 +204,46 @@ func BenchmarkHostTransform(b *testing.B) {
 	b.SetBytes(int64(1<<15) * 16)
 }
 
+// benchHost measures one forward+inverse round trip per iteration of the
+// host FFT library (no machine simulation), serially or on the parallel
+// engine. The round trip keeps magnitudes bounded across iterations so
+// the same buffer can be reused.
+func benchHost(b *testing.B, logN int, parallel bool) {
+	b.Helper()
+	n := 1 << logN
+	h, err := codeletfft.NewHostPlan(n, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := noise(n, 1)
+	b.SetBytes(int64(n) * 16 * 2) // forward + inverse
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if parallel {
+			h.ParallelTransform(data)
+			h.ParallelInverse(data)
+		} else {
+			h.Transform(data)
+			h.Inverse(data)
+		}
+	}
+}
+
+// BenchmarkHostSerial / BenchmarkHostParallel measure the serial vs
+// sharded host engine at N=2^16..2^22 so the speedup is a number, not an
+// assertion:
+//
+//	go test -bench 'BenchmarkHost(Serial|Parallel)' -benchtime 3x
+func BenchmarkHostSerial(b *testing.B) {
+	for _, logN := range []int{16, 18, 20, 22} {
+		b.Run(fmt.Sprintf("N=2^%d", logN), func(b *testing.B) { benchHost(b, logN, false) })
+	}
+}
+
+func BenchmarkHostParallel(b *testing.B) {
+	for _, logN := range []int{16, 18, 20, 22} {
+		b.Run(fmt.Sprintf("N=2^%d", logN), func(b *testing.B) { benchHost(b, logN, true) })
+	}
+}
+
 func byteSize(v int64) string { return fmt.Sprintf("%d", v) }

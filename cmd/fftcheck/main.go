@@ -1,16 +1,21 @@
 // Command fftcheck validates the numerics of every algorithm variant
 // across a matrix of transform lengths and codelet sizes, comparing each
-// simulated run's output against an independent reference FFT.
+// simulated run's output against an independent reference FFT, and then
+// checks that the parallel host engine's output is bitwise identical to
+// the serial host path on the same matrix.
 //
 // Usage:
 //
 //	fftcheck                  # default matrix
 //	fftcheck -maxlog 16       # up to N=2^16
+//	fftcheck -workers 8       # host-engine check with 8 goroutines
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
+	"math/rand"
 	"os"
 
 	"codeletfft"
@@ -19,9 +24,10 @@ import (
 
 func main() {
 	var (
-		minLog = flag.Int("minlog", 10, "smallest transform: N=2^minlog")
-		maxLog = flag.Int("maxlog", 14, "largest transform: N=2^maxlog")
-		seed   = flag.Int64("seed", 1, "input seed")
+		minLog  = flag.Int("minlog", 10, "smallest transform: N=2^minlog")
+		maxLog  = flag.Int("maxlog", 14, "largest transform: N=2^maxlog")
+		seed    = flag.Int64("seed", 1, "input seed")
+		workers = flag.Int("workers", 0, "host-engine worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -58,8 +64,87 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\nworst error %.3g across %d runs\n", worst, len(tb.Rows))
+
+	failures += checkHostEngine(*minLog, *maxLog, *seed, *workers)
+
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "fftcheck: %d failures\n", failures)
 		os.Exit(1)
 	}
+}
+
+// checkHostEngine verifies the parallel host engine against the serial
+// host path: for every (N, P) in the matrix the parallel forward output
+// must be bitwise identical to the serial one, and a parallel forward +
+// inverse round trip must return the input. Returns the failure count.
+func checkHostEngine(minLog, maxLog int, seed int64, workers int) int {
+	tb := &report.Table{Headers: []string{"N", "task size", "parallel == serial", "roundtrip error"}}
+	failures := 0
+	for lg := minLog; lg <= maxLog; lg += 2 {
+		n := 1 << lg
+		for _, p := range []int{8, 64} {
+			if p > n {
+				continue
+			}
+			h, err := codeletfft.NewHostPlan(n, p)
+			if err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "fftcheck: host N=2^%d P=%d: %v\n", lg, p, err)
+				continue
+			}
+			h.SetParallel(codeletfft.ParallelConfig{Workers: workers, Threshold: 1})
+
+			rng := rand.New(rand.NewSource(seed))
+			x := make([]complex128, n)
+			for i := range x {
+				x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			serial := append([]complex128(nil), x...)
+			h.Transform(serial)
+			par := append([]complex128(nil), x...)
+			h.ParallelTransform(par)
+
+			exact := true
+			for i := range par {
+				if math.Float64bits(real(par[i])) != math.Float64bits(real(serial[i])) ||
+					math.Float64bits(imag(par[i])) != math.Float64bits(imag(serial[i])) {
+					exact = false
+					break
+				}
+			}
+			h.ParallelInverse(par)
+			var rt float64
+			for i := range par {
+				d := par[i] - x[i]
+				if v := math.Hypot(real(d), imag(d)); v > rt {
+					rt = v
+				}
+			}
+			if !exact || rt > 1e-9 {
+				failures++
+			}
+			verdict := "exact"
+			if !exact {
+				verdict = "MISMATCH"
+			}
+			tb.AddRow(fmt.Sprintf("2^%d", lg), p, verdict, fmt.Sprintf("%.3g", rt))
+		}
+	}
+	fmt.Printf("\nparallel host engine (%d workers):\n\n", workersLabel(workers))
+	if err := tb.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fftcheck:", err)
+		os.Exit(1)
+	}
+	return failures
+}
+
+func workersLabel(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	h, err := codeletfft.NewHostPlan(2, 2)
+	if err != nil {
+		return 0
+	}
+	return h.Workers()
 }

@@ -10,6 +10,7 @@
 //   - internal/c64      Cyclops-64 machine model (ports, interleave, TUs)
 //   - internal/codelet  codelet runtime (pools, counters, barriers)
 //   - internal/fft      FFT math (plans, kernels, reference transforms)
+//   - internal/host     parallel host execution engine (worker pool)
 //   - internal/core     the paper's five algorithm variants
 //   - internal/exp      one runner per figure/table of the evaluation
 //
@@ -19,6 +20,23 @@
 //	opts.Check = true
 //	res, err := codeletfft.Run(opts)
 //	// res.GFLOPS, res.BankSkew(), res.Output ...
+//
+// The staged kernels are also a plain host FFT library. HostPlan runs
+// them serially or — the real-hardware counterpart to the paper's
+// fine-grain scheduling — sharded across goroutines, one chunk of each
+// stage's independent butterfly tasks per worker:
+//
+//	h, err := codeletfft.NewHostPlan(1<<20, 64)
+//	h.SetParallel(codeletfft.ParallelConfig{Workers: 8}) // optional
+//	h.ParallelTransform(data) // bitwise identical to h.Transform(data)
+//
+// ParallelTransform falls back to the serial path below
+// ParallelConfig.Threshold elements (default 8192), where dispatch
+// overhead would dominate. The parallel engine is hardened by fuzz
+// targets (internal/fft: FuzzTransformRoundTrip,
+// FuzzParallelMatchesSerial), a metamorphic property suite (linearity,
+// Parseval, impulse and shift theorems over every plan shape), and a
+// `go test -race` CI gate.
 package codeletfft
 
 import (

@@ -2,14 +2,33 @@ package codeletfft
 
 import (
 	"codeletfft/internal/fft"
+	"codeletfft/internal/host"
 )
+
+// ParallelConfig tunes the parallel host execution engine behind
+// HostPlan.ParallelTransform and friends.
+type ParallelConfig struct {
+	// Workers is the number of goroutines per parallel pass; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Threshold is the minimum element count for which the parallel path
+	// engages — smaller transforms fall back to the serial path, where
+	// dispatch overhead would dominate. 0 means the package default
+	// (8192); 1 forces parallel execution at every size.
+	Threshold int
+}
 
 // HostPlan exposes the staged FFT decomposition for direct numeric use on
 // the host, without the machine simulation: the same kernels the
 // simulated codelets execute, callable as a plain FFT library.
+//
+// A HostPlan is immutable after construction (SetParallel replaces the
+// engine wholesale), so one plan may serve concurrent Transform or
+// ParallelTransform calls on distinct data arrays.
 type HostPlan struct {
-	pl *fft.Plan
-	w  []complex128
+	pl  *fft.Plan
+	w   []complex128
+	eng *host.Engine
 }
 
 // NewHostPlan builds a host-side plan for n-point transforms with
@@ -19,11 +38,20 @@ func NewHostPlan(n, taskSize int) (*HostPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &HostPlan{pl: pl, w: fft.Twiddles(n)}, nil
+	return &HostPlan{pl: pl, w: fft.Twiddles(n), eng: host.New(host.Config{})}, nil
 }
 
 // N returns the transform length.
 func (h *HostPlan) N() int { return h.pl.N }
+
+// Workers returns the worker count the parallel engine resolved.
+func (h *HostPlan) Workers() int { return h.eng.Workers() }
+
+// SetParallel reconfigures the parallel engine. Call before handing the
+// plan to concurrent users.
+func (h *HostPlan) SetParallel(cfg ParallelConfig) {
+	h.eng = host.New(host.Config{Workers: cfg.Workers, Threshold: cfg.Threshold})
+}
 
 // Transform applies the forward FFT in place. len(data) must equal N.
 func (h *HostPlan) Transform(data []complex128) { h.pl.Transform(data, h.w) }
@@ -31,8 +59,20 @@ func (h *HostPlan) Transform(data []complex128) { h.pl.Transform(data, h.w) }
 // Inverse applies the inverse FFT in place.
 func (h *HostPlan) Inverse(data []complex128) { h.pl.InverseTransform(data, h.w) }
 
+// ParallelTransform applies the forward FFT in place, sharding each
+// stage's butterfly tasks across the engine's workers (serial fallback
+// below the threshold). Output is bitwise identical to Transform.
+func (h *HostPlan) ParallelTransform(data []complex128) { h.eng.Transform(h.pl, data, h.w) }
+
+// ParallelInverse applies the inverse FFT in place on the parallel
+// engine. Output is bitwise identical to Inverse.
+func (h *HostPlan) ParallelInverse(data []complex128) { h.eng.InverseTransform(h.pl, data, h.w) }
+
 // HostPlan2D is the 2-D row-column analogue of HostPlan.
-type HostPlan2D struct{ pl *fft.Plan2D }
+type HostPlan2D struct {
+	pl  *fft.Plan2D
+	eng *host.Engine
+}
 
 // NewHostPlan2D builds a host-side plan for rows×cols transforms.
 func NewHostPlan2D(rows, cols, taskSize int) (*HostPlan2D, error) {
@@ -40,14 +80,32 @@ func NewHostPlan2D(rows, cols, taskSize int) (*HostPlan2D, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &HostPlan2D{pl: pl}, nil
+	return &HostPlan2D{pl: pl, eng: host.New(host.Config{})}, nil
 }
+
+// SetParallel reconfigures the parallel engine. Call before handing the
+// plan to concurrent users.
+func (h *HostPlan2D) SetParallel(cfg ParallelConfig) {
+	h.eng = host.New(host.Config{Workers: cfg.Workers, Threshold: cfg.Threshold})
+}
+
+// Workers returns the worker count the parallel engine resolved.
+func (h *HostPlan2D) Workers() int { return h.eng.Workers() }
 
 // Transform applies the forward 2-D FFT in place (row-major data).
 func (h *HostPlan2D) Transform(data []complex128) { h.pl.Transform(data) }
 
 // Inverse applies the inverse 2-D FFT in place.
 func (h *HostPlan2D) Inverse(data []complex128) { h.pl.InverseTransform(data) }
+
+// ParallelTransform applies the forward 2-D FFT in place, sharding rows
+// then columns across the engine's workers. Output is bitwise identical
+// to Transform.
+func (h *HostPlan2D) ParallelTransform(data []complex128) { h.eng.Transform2D(h.pl, data) }
+
+// ParallelInverse applies the inverse 2-D FFT in place on the parallel
+// engine. Output is bitwise identical to Inverse.
+func (h *HostPlan2D) ParallelInverse(data []complex128) { h.eng.InverseTransform2D(h.pl, data) }
 
 // DFT computes the discrete Fourier transform directly in O(n²) — the
 // ground-truth reference (any length).
@@ -60,6 +118,7 @@ func FFT(x []complex128) []complex128 { return fft.Recursive(x) }
 // IFFT computes the inverse transform, allocating the result.
 func IFFT(x []complex128) []complex128 { return fft.Inverse(x) }
 
-// StockhamFFT computes the transform with the radix-2 Stockham autosort
-// algorithm (no bit-reversal pass), allocating the result.
+// StockhamFFT computes the transform of a power-of-two-length input with the
+// radix-2 Stockham autosort algorithm (no bit-reversal pass), allocating
+// the result.
 func StockhamFFT(x []complex128) []complex128 { return fft.Stockham(x) }

@@ -1,6 +1,7 @@
 package codeletfft_test
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -52,6 +53,69 @@ func TestHostPlanMatchesReference(t *testing.T) {
 func TestHostPlanRejectsBadShape(t *testing.T) {
 	if _, err := codeletfft.NewHostPlan(100, 64); err == nil {
 		t.Fatal("non-power-of-two accepted")
+	}
+}
+
+// sameBits reports whether a and b are bitwise-identical — the contract
+// ParallelTransform documents against Transform.
+func sameBits(a, b []complex128) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(real(a[i])) != math.Float64bits(real(b[i])) ||
+			math.Float64bits(imag(a[i])) != math.Float64bits(imag(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHostPlanParallelMatchesSerial(t *testing.T) {
+	n := 1 << 14
+	h, err := codeletfft.NewHostPlan(n, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetParallel(codeletfft.ParallelConfig{Workers: 4, Threshold: 1})
+	if h.Workers() != 4 {
+		t.Fatalf("Workers = %d after SetParallel", h.Workers())
+	}
+	x := noise(n, 5)
+	serial := append([]complex128(nil), x...)
+	h.Transform(serial)
+	par := append([]complex128(nil), x...)
+	h.ParallelTransform(par)
+	if !sameBits(par, serial) {
+		t.Fatal("ParallelTransform diverged from Transform")
+	}
+	h.ParallelInverse(par)
+	h.Inverse(serial)
+	if !sameBits(par, serial) {
+		t.Fatal("ParallelInverse diverged from Inverse")
+	}
+	if e := maxErr(par, x); e > 1e-16 {
+		t.Fatalf("parallel roundtrip error %g", e)
+	}
+}
+
+func TestHostPlan2DParallelMatchesSerial(t *testing.T) {
+	h, err := codeletfft.NewHostPlan2D(64, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetParallel(codeletfft.ParallelConfig{Workers: 3, Threshold: 1})
+	x := noise(64*32, 6)
+	serial := append([]complex128(nil), x...)
+	h.Transform(serial)
+	par := append([]complex128(nil), x...)
+	h.ParallelTransform(par)
+	if !sameBits(par, serial) {
+		t.Fatal("2-D ParallelTransform diverged from Transform")
+	}
+	h.ParallelInverse(par)
+	if e := maxErr(par, x); e > 1e-16 {
+		t.Fatalf("2-D parallel roundtrip error %g", e)
 	}
 }
 

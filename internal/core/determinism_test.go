@@ -1,0 +1,60 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunDeterministic is the simulator determinism regression: two Run
+// invocations with identical Options — including OrderRandom with a fixed
+// seed — must agree on every observable (cycle count, GFLOPS, bank
+// histograms, runtime counters, bank trace, and the numeric output,
+// bitwise). Figures, ablations, and the CI gate all assume reruns
+// reproduce.
+func TestRunDeterministic(t *testing.T) {
+	for _, v := range Variants() {
+		opts := NewOptions(1<<10, v)
+		opts.TaskSize = 8
+		opts.Order = OrderRandom
+		opts.Seed = 7
+		opts.TraceBin = 256
+		opts.Check = true
+
+		r1, err := Run(opts)
+		if err != nil {
+			t.Fatalf("%v: first run: %v", v, err)
+		}
+		r2, err := Run(opts)
+		if err != nil {
+			t.Fatalf("%v: second run: %v", v, err)
+		}
+
+		if r1.Cycles != r2.Cycles {
+			t.Errorf("%v: cycles differ: %d vs %d", v, r1.Cycles, r2.Cycles)
+		}
+		if r1.GFLOPS != r2.GFLOPS {
+			t.Errorf("%v: GFLOPS differ: %v vs %v", v, r1.GFLOPS, r2.GFLOPS)
+		}
+		if !reflect.DeepEqual(r1.BankBytes, r2.BankBytes) {
+			t.Errorf("%v: bank byte histograms differ: %v vs %v", v, r1.BankBytes, r2.BankBytes)
+		}
+		if !reflect.DeepEqual(r1.BankAccesses, r2.BankAccesses) {
+			t.Errorf("%v: bank access histograms differ: %v vs %v", v, r1.BankAccesses, r2.BankAccesses)
+		}
+		if !reflect.DeepEqual(r1.BankBusy, r2.BankBusy) {
+			t.Errorf("%v: bank busy times differ: %v vs %v", v, r1.BankBusy, r2.BankBusy)
+		}
+		if r1.Runtime != r2.Runtime {
+			t.Errorf("%v: runtime counters differ: %+v vs %+v", v, r1.Runtime, r2.Runtime)
+		}
+		if !reflect.DeepEqual(r1.Trace, r2.Trace) {
+			t.Errorf("%v: bank traces differ", v)
+		}
+		if r1.MaxError != r2.MaxError {
+			t.Errorf("%v: max errors differ: %g vs %g", v, r1.MaxError, r2.MaxError)
+		}
+		if !reflect.DeepEqual(r1.Output, r2.Output) {
+			t.Errorf("%v: numeric outputs differ", v)
+		}
+	}
+}

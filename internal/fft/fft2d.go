@@ -6,10 +6,19 @@ import "fmt"
 // column transforms, each using the staged P-point-task plan. This is the
 // row-column method the C64 line of work (Chen et al.) used for 2-D FFT;
 // the paper's scheduling applies to each 1-D pass.
+// A Plan2D is immutable after NewPlan2D: the twiddle tables WRow and WCol
+// are computed once and never written again, so one plan may serve any
+// number of concurrent Transform calls on distinct data arrays (the
+// per-call column buffer and scratch are the only mutable state).
 type Plan2D struct {
 	Rows, Cols int
 	RowPlan    *Plan
 	ColPlan    *Plan
+	// WRow and WCol are the per-dimension twiddle tables, Twiddles(Cols)
+	// and Twiddles(Rows). Shared read-only state — callers must not
+	// mutate them.
+	WRow []complex128
+	WCol []complex128
 }
 
 // NewPlan2D validates the shape and builds per-dimension plans. Task size
@@ -26,7 +35,10 @@ func NewPlan2D(rows, cols, taskSize int) (*Plan2D, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan2D{Rows: rows, Cols: cols, RowPlan: rp, ColPlan: cp}, nil
+	return &Plan2D{
+		Rows: rows, Cols: cols, RowPlan: rp, ColPlan: cp,
+		WRow: Twiddles(cols), WCol: Twiddles(rows),
+	}, nil
 }
 
 // Transform applies the 2-D FFT in place to data in row-major order.
@@ -34,20 +46,19 @@ func (p *Plan2D) Transform(data []complex128) {
 	if len(data) != p.Rows*p.Cols {
 		panic("fft: 2-D data length mismatch")
 	}
-	wRow := Twiddles(p.Cols)
-	wCol := Twiddles(p.Rows)
-
 	// Row pass.
+	rsc := NewScratch(p.RowPlan)
 	for r := 0; r < p.Rows; r++ {
-		p.RowPlan.Transform(data[r*p.Cols:(r+1)*p.Cols], wRow)
+		p.RowPlan.TransformWith(data[r*p.Cols:(r+1)*p.Cols], p.WRow, rsc)
 	}
 	// Column pass via gather/scatter.
+	csc := NewScratch(p.ColPlan)
 	col := make([]complex128, p.Rows)
 	for c := 0; c < p.Cols; c++ {
 		for r := 0; r < p.Rows; r++ {
 			col[r] = data[r*p.Cols+c]
 		}
-		p.ColPlan.Transform(col, wCol)
+		p.ColPlan.TransformWith(col, p.WCol, csc)
 		for r := 0; r < p.Rows; r++ {
 			data[r*p.Cols+c] = col[r]
 		}

@@ -1,0 +1,118 @@
+// Native Go fuzz targets for the staged FFT. Both targets derive a
+// power-of-two complex input from raw fuzz bytes (values bounded in
+// [-1,1) so tolerances stay meaningful) and a plan shape from the fuzzed
+// parameters, then check the two invariants the rest of the repo leans
+// on: forward+inverse is the identity, and the parallel host engine is
+// bitwise-indistinguishable from the serial path.
+//
+// CI runs a short -fuzz smoke on FuzzTransformRoundTrip; both targets
+// also run their seed corpus under plain `go test`.
+package fft_test
+
+import (
+	"math"
+	"testing"
+
+	"codeletfft/internal/fft"
+	"codeletfft/internal/host"
+)
+
+// fuzzInput decodes raw bytes into a power-of-two-length complex slice
+// (each element consumes two bytes, mapped to [-1,1)) and picks a valid
+// task size from p8. Returns nil if raw is too short for a 2-point
+// transform.
+func fuzzInput(raw []byte, p8 uint8) ([]complex128, int) {
+	count := len(raw) / 2
+	n := 1
+	for n*2 <= count && n < 1<<12 {
+		n *= 2
+	}
+	if n < 2 {
+		return nil, 0
+	}
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = complex(float64(int8(raw[2*i]))/128, float64(int8(raw[2*i+1]))/128)
+	}
+	p := 2 << (int(p8) % 6) // 2..64
+	if p > n {
+		p = n
+	}
+	return x, p
+}
+
+func FuzzTransformRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(0))
+	f.Add(make([]byte, 256), uint8(5))
+	f.Add([]byte{255, 0, 128, 64, 32, 16, 200, 100, 9, 8, 7, 6, 5, 4, 3, 2}, uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, p8 uint8) {
+		x, p := fuzzInput(raw, p8)
+		if x == nil {
+			t.Skip("input too short")
+		}
+		n := len(x)
+		pl, err := fft.NewPlan(n, p)
+		if err != nil {
+			t.Fatalf("NewPlan(%d, %d): %v", n, p, err)
+		}
+		w := fft.Twiddles(n)
+		data := append([]complex128(nil), x...)
+		pl.Transform(data, w)
+
+		// Cross-check the forward transform against the independent
+		// recursive implementation.
+		want := fft.Recursive(x)
+		if e := fft.MaxError(data, want); e > 1e-9 {
+			t.Fatalf("N=%d P=%d: staged vs recursive error %g", n, p, e)
+		}
+
+		pl.InverseTransform(data, w)
+		if e := fft.MaxError(data, x); e > 1e-9 {
+			t.Fatalf("N=%d P=%d: round-trip error %g", n, p, e)
+		}
+	})
+}
+
+func FuzzParallelMatchesSerial(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(0), uint8(2))
+	f.Add(make([]byte, 512), uint8(5), uint8(7))
+	f.Add([]byte{9, 9, 9, 9, 200, 100, 50, 25, 12, 6, 3, 1, 0, 255, 0, 255}, uint8(3), uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, p8, workers8 uint8) {
+		x, p := fuzzInput(raw, p8)
+		if x == nil {
+			t.Skip("input too short")
+		}
+		n := len(x)
+		pl, err := fft.NewPlan(n, p)
+		if err != nil {
+			t.Fatalf("NewPlan(%d, %d): %v", n, p, err)
+		}
+		w := fft.Twiddles(n)
+
+		serial := append([]complex128(nil), x...)
+		pl.Transform(serial, w)
+
+		workers := int(workers8)%8 + 1
+		eng := host.New(host.Config{Workers: workers, Threshold: 1})
+		par := append([]complex128(nil), x...)
+		eng.Transform(pl, par, w)
+		for i := range par {
+			if math.Float64bits(real(par[i])) != math.Float64bits(real(serial[i])) ||
+				math.Float64bits(imag(par[i])) != math.Float64bits(imag(serial[i])) {
+				t.Fatalf("N=%d P=%d workers=%d: element %d differs: parallel %v, serial %v",
+					n, p, workers, i, par[i], serial[i])
+			}
+		}
+
+		// And the inverse path, which adds the sharded conjugate/scale
+		// passes on top of the forward engine.
+		pl.InverseTransform(serial, w)
+		eng.InverseTransform(pl, par, w)
+		for i := range par {
+			if math.Float64bits(real(par[i])) != math.Float64bits(real(serial[i])) ||
+				math.Float64bits(imag(par[i])) != math.Float64bits(imag(serial[i])) {
+				t.Fatalf("N=%d P=%d workers=%d: inverse element %d differs", n, p, workers, i)
+			}
+		}
+	})
+}

@@ -44,7 +44,10 @@ func TaskButterflies(buf, tw []complex128, v int) int64 {
 	return flops
 }
 
-// Scratch is a reusable per-worker buffer set for executing tasks.
+// Scratch is a reusable per-worker buffer set for executing tasks. A
+// Scratch must not be shared between concurrently executing goroutines;
+// give every worker its own (Plan itself is immutable after NewPlan and
+// safe for any number of concurrent users).
 type Scratch struct {
 	Idx   []int64
 	TwIdx []int64
@@ -66,6 +69,13 @@ func NewScratch(pl *Plan) *Scratch {
 // table w: gather, butterflies, scatter in place. twiddleAt maps a twiddle
 // index to its storage position (identity normally; bit-reversal in the
 // hash variants). It returns the flop count.
+//
+// RunTask is safe for concurrent use on the same data array as long as
+// every goroutine has its own Scratch and no two concurrent calls name
+// tasks of different stages: tasks of one stage touch disjoint element
+// sets, so a per-stage barrier is the only synchronization required.
+// Package internal/host builds its parallel engine on exactly this
+// contract.
 func (pl *Plan) RunTask(stage, task int, data, w []complex128, twiddleAt func(int64) int64, sc *Scratch) int64 {
 	pl.TaskIndices(stage, task, sc.Idx)
 	nt := pl.TaskTwiddleIndices(stage, task, sc.TwIdx)
@@ -90,7 +100,19 @@ func (pl *Plan) RunTask(stage, task int, data, w []complex128, twiddleAt func(in
 // bit-reversal permutation followed by every stage's tasks in order. It
 // validates the plan decomposition itself, independent of any scheduling
 // or machine model. w must be Twiddles(pl.N).
+//
+// Transform allocates a fresh Scratch per call and is therefore safe to
+// call concurrently on distinct data arrays; use TransformWith to amortize
+// the scratch across many transforms on one goroutine.
 func (pl *Plan) Transform(data, w []complex128) {
+	pl.TransformWith(data, w, NewScratch(pl))
+}
+
+// TransformWith is Transform with a caller-provided Scratch, for callers
+// (worker pools, batch loops) that run many transforms and want to reuse
+// the per-goroutine buffers. sc must not be shared with any concurrent
+// call.
+func (pl *Plan) TransformWith(data, w []complex128, sc *Scratch) {
 	if len(data) != pl.N {
 		panic("fft: data length does not match plan")
 	}
@@ -98,7 +120,6 @@ func (pl *Plan) Transform(data, w []complex128) {
 		panic("fft: twiddle table length must be N/2")
 	}
 	BitReversePermute(data)
-	sc := NewScratch(pl)
 	for stage := 0; stage < pl.NumStages; stage++ {
 		for task := 0; task < pl.TasksPerStage; task++ {
 			pl.RunTask(stage, task, data, w, nil, sc)

@@ -1,0 +1,145 @@
+// Metamorphic property tests: instead of comparing against a reference
+// implementation, these check identities any DFT must satisfy —
+// linearity, Parseval's theorem, the impulse and shift theorems — for
+// every (N, taskSize) plan shape the staged decomposition supports up to
+// N=2^10, including the irregular-final-stage shapes where log2(N) is
+// not a multiple of log2(P).
+package fft_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"codeletfft/internal/fft"
+)
+
+// forEachPlan runs fn for every supported (N, P) combination with
+// 2 ≤ N ≤ 1024.
+func forEachPlan(t *testing.T, fn func(t *testing.T, pl *fft.Plan, w []complex128)) {
+	t.Helper()
+	for logN := 1; logN <= 10; logN++ {
+		n := 1 << logN
+		for logP := 1; logP <= logN; logP++ {
+			p := 1 << logP
+			pl, err := fft.NewPlan(n, p)
+			if err != nil {
+				t.Fatalf("NewPlan(%d, %d): %v", n, p, err)
+			}
+			fn(t, pl, fft.Twiddles(n))
+		}
+	}
+}
+
+func randSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func transformed(pl *fft.Plan, w, x []complex128) []complex128 {
+	out := append([]complex128(nil), x...)
+	pl.Transform(out, w)
+	return out
+}
+
+func cAbs2(v complex128) float64 { return real(v)*real(v) + imag(v)*imag(v) }
+
+// TestPropertyLinearity: T(a·x + b·y) = a·T(x) + b·T(y).
+func TestPropertyLinearity(t *testing.T) {
+	forEachPlan(t, func(t *testing.T, pl *fft.Plan, w []complex128) {
+		n := pl.N
+		x := randSignal(n, int64(n+pl.P))
+		y := randSignal(n, int64(2*n+pl.P))
+		a, b := complex(1.25, -0.5), complex(-0.75, 2.0)
+
+		mixed := make([]complex128, n)
+		for i := range mixed {
+			mixed[i] = a*x[i] + b*y[i]
+		}
+		got := transformed(pl, w, mixed)
+		tx, ty := transformed(pl, w, x), transformed(pl, w, y)
+		want := make([]complex128, n)
+		for i := range want {
+			want[i] = a*tx[i] + b*ty[i]
+		}
+		if e := fft.MaxError(got, want); e > 1e-9*float64(n) {
+			t.Errorf("N=%d P=%d: linearity violated, error %g", n, pl.P, e)
+		}
+	})
+}
+
+// TestPropertyParseval: Σ|x|² = Σ|X|²/N.
+func TestPropertyParseval(t *testing.T) {
+	forEachPlan(t, func(t *testing.T, pl *fft.Plan, w []complex128) {
+		n := pl.N
+		x := randSignal(n, int64(3*n+pl.P))
+		X := transformed(pl, w, x)
+		var timeE, freqE float64
+		for i := range x {
+			timeE += cAbs2(x[i])
+			freqE += cAbs2(X[i])
+		}
+		freqE /= float64(n)
+		if rel := math.Abs(timeE-freqE) / timeE; rel > 1e-10 {
+			t.Errorf("N=%d P=%d: Parseval violated, relative error %g", n, pl.P, rel)
+		}
+	})
+}
+
+// TestPropertyImpulse: the transform of δ₀ is the all-ones vector.
+func TestPropertyImpulse(t *testing.T) {
+	forEachPlan(t, func(t *testing.T, pl *fft.Plan, w []complex128) {
+		n := pl.N
+		x := make([]complex128, n)
+		x[0] = 1
+		X := transformed(pl, w, x)
+		for k, v := range X {
+			if d := math.Hypot(real(v)-1, imag(v)); d > 1e-12 {
+				t.Fatalf("N=%d P=%d: impulse bin %d = %v, want 1", n, pl.P, k, v)
+			}
+		}
+	})
+}
+
+// TestPropertyShift: circularly advancing x by s multiplies bin k by
+// exp(2πi·k·s/N).
+func TestPropertyShift(t *testing.T) {
+	forEachPlan(t, func(t *testing.T, pl *fft.Plan, w []complex128) {
+		n := pl.N
+		s := 1 + (n/2-1)%5 // a small shift that varies with N
+		x := randSignal(n, int64(4*n+pl.P))
+		shifted := make([]complex128, n)
+		for i := range shifted {
+			shifted[i] = x[(i+s)%n]
+		}
+		X := transformed(pl, w, x)
+		Y := transformed(pl, w, shifted)
+		for k := range Y {
+			ang := 2 * math.Pi * float64(k) * float64(s) / float64(n)
+			want := X[k] * complex(math.Cos(ang), math.Sin(ang))
+			if d := math.Hypot(real(Y[k])-real(want), imag(Y[k])-imag(want)); d > 1e-9*float64(n) {
+				t.Fatalf("N=%d P=%d s=%d: shift theorem violated at bin %d: got %v want %v",
+					n, pl.P, s, k, Y[k], want)
+			}
+		}
+	})
+}
+
+// TestPropertyRoundTrip: InverseTransform(Transform(x)) = x for every
+// plan shape — the property the fuzz target generalizes to arbitrary
+// inputs.
+func TestPropertyRoundTrip(t *testing.T) {
+	forEachPlan(t, func(t *testing.T, pl *fft.Plan, w []complex128) {
+		x := randSignal(pl.N, int64(5*pl.N+pl.P))
+		data := append([]complex128(nil), x...)
+		pl.Transform(data, w)
+		pl.InverseTransform(data, w)
+		if e := fft.MaxError(data, x); e > 1e-11 {
+			t.Errorf("N=%d P=%d: round-trip error %g", pl.N, pl.P, e)
+		}
+	})
+}
