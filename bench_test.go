@@ -7,6 +7,7 @@ package codeletfft_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"codeletfft"
@@ -211,7 +212,7 @@ func BenchmarkHostTransform(b *testing.B) {
 func benchHost(b *testing.B, logN int, parallel bool) {
 	b.Helper()
 	n := 1 << logN
-	h, err := codeletfft.NewHostPlan(n, 64)
+	h, err := codeletfft.NewHostPlan(n, codeletfft.WithTaskSize(64))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -244,6 +245,87 @@ func BenchmarkHostParallel(b *testing.B) {
 	for _, logN := range []int{16, 18, 20, 22} {
 		b.Run(fmt.Sprintf("N=2^%d", logN), func(b *testing.B) { benchHost(b, logN, true) })
 	}
+}
+
+// BenchmarkHostBatch contrasts B transforms dispatched one at a time
+// (sub-benchmark "loop") against one TransformBatch call ("batch") at
+// the serving sweet spot N=4096, B=64. The batch path pays the stage
+// barriers once for the whole batch and reuses pooled scratch, so it
+// should win on any core count:
+//
+//	go test -bench BenchmarkHostBatch -benchtime 10x
+func BenchmarkHostBatch(b *testing.B) {
+	const logN, n, batchSize = 12, 1 << 12, 64
+	h, err := codeletfft.NewHostPlan(n, codeletfft.WithThreshold(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([][]complex128, batchSize)
+	for i := range batch {
+		batch[i] = noise(n, int64(i))
+	}
+	bytes := int64(n) * 16 * 2 * batchSize // forward + inverse per transform
+	b.Run("loop", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			for _, d := range batch {
+				h.ParallelTransform(d)
+			}
+			for _, d := range batch {
+				h.ParallelInverse(d)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			h.TransformBatch(batch)
+			h.InverseBatch(batch)
+		}
+	})
+}
+
+// BenchmarkHostReal contrasts the complex transform of a real-valued
+// signal ("complex") against the packed real-input path ("real") at
+// N=2^20. The real path runs one N/2-point transform plus an O(N)
+// unpack, about half the work:
+//
+//	go test -bench BenchmarkHostReal -benchtime 10x
+func BenchmarkHostReal(b *testing.B) {
+	const logN, n = 20, 1 << 20
+	h, err := codeletfft.NewHostPlan(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.Run("complex", func(b *testing.B) {
+		data := make([]complex128, n)
+		b.SetBytes(int64(n) * 16 * 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range data {
+				data[j] = complex(x[j], 0)
+			}
+			h.Transform(data)
+		}
+	})
+	b.Run("real", func(b *testing.B) {
+		spec := make([]complex128, n/2+1)
+		if err := h.RealTransform(spec, x); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(n) * 16 * 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := h.RealTransform(spec, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func byteSize(v int64) string { return fmt.Sprintf("%d", v) }

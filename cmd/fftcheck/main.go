@@ -1,8 +1,10 @@
 // Command fftcheck validates the numerics of every algorithm variant
 // across a matrix of transform lengths and codelet sizes, comparing each
-// simulated run's output against an independent reference FFT, and then
-// checks that the parallel host engine's output is bitwise identical to
-// the serial host path on the same matrix.
+// simulated run's output against an independent reference FFT; checks
+// that the parallel host engine's output is bitwise identical to the
+// serial host path on the same matrix; and checks the serving-path APIs
+// (TransformBatch against a transform loop, the real-input path against
+// the complex reference). Any section failure exits non-zero.
 //
 // Usage:
 //
@@ -66,11 +68,116 @@ func main() {
 	fmt.Printf("\nworst error %.3g across %d runs\n", worst, len(tb.Rows))
 
 	failures += checkHostEngine(*minLog, *maxLog, *seed, *workers)
+	failures += checkBatchAndReal(*minLog, *maxLog, *seed, *workers)
 
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "fftcheck: %d failures\n", failures)
 		os.Exit(1)
 	}
+}
+
+// checkBatchAndReal verifies the serving-path APIs on the same matrix:
+// TransformBatch/InverseBatch must be bitwise identical to a loop of
+// serial transforms, and the real-input path must match the complex
+// transform of the widened signal and round-trip back to the input.
+// Returns the failure count.
+func checkBatchAndReal(minLog, maxLog int, seed int64, workers int) int {
+	const batchSize = 4
+	tb := &report.Table{Headers: []string{"N", "batch == loop", "RFFT error", "RFFT roundtrip"}}
+	failures := 0
+	for lg := minLog; lg <= maxLog; lg += 2 {
+		n := 1 << lg
+		h, err := codeletfft.CachedHostPlan(n,
+			codeletfft.WithWorkers(workers),
+			codeletfft.WithThreshold(1))
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "fftcheck: batch N=2^%d: %v\n", lg, err)
+			continue
+		}
+		rng := rand.New(rand.NewSource(seed))
+
+		// Batched vs looped complex transforms, forward then inverse.
+		batch := make([][]complex128, batchSize)
+		want := make([][]complex128, batchSize)
+		for t := range batch {
+			batch[t] = make([]complex128, n)
+			for i := range batch[t] {
+				batch[t][i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			want[t] = append([]complex128(nil), batch[t]...)
+			h.Transform(want[t])
+		}
+		h.TransformBatch(batch)
+		exact := batchEqualBits(batch, want)
+		for t := range want {
+			h.Inverse(want[t])
+		}
+		h.InverseBatch(batch)
+		exact = exact && batchEqualBits(batch, want)
+
+		// Real-input path against the complex reference.
+		x := make([]float64, n)
+		wide := make([]complex128, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			wide[i] = complex(x[i], 0)
+		}
+		spec := make([]complex128, n/2+1)
+		if err := h.ParallelRealTransform(spec, x); err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "fftcheck: rfft N=2^%d: %v\n", lg, err)
+			continue
+		}
+		h.Transform(wide)
+		var specErr float64
+		for k := range spec {
+			d := spec[k] - wide[k]
+			if v := math.Hypot(real(d), imag(d)); v > specErr {
+				specErr = v
+			}
+		}
+		back := make([]float64, n)
+		if err := h.ParallelRealInverse(back, spec); err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "fftcheck: rfft inverse N=2^%d: %v\n", lg, err)
+			continue
+		}
+		var rt float64
+		for i := range back {
+			if v := math.Abs(back[i] - x[i]); v > rt {
+				rt = v
+			}
+		}
+
+		if !exact || specErr > 1e-9 || rt > 1e-9 {
+			failures++
+		}
+		verdict := "exact"
+		if !exact {
+			verdict = "MISMATCH"
+		}
+		tb.AddRow(fmt.Sprintf("2^%d", lg), verdict,
+			fmt.Sprintf("%.3g", specErr), fmt.Sprintf("%.3g", rt))
+	}
+	fmt.Printf("\nbatched + real-input host paths (batch size %d):\n\n", batchSize)
+	if err := tb.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fftcheck:", err)
+		os.Exit(1)
+	}
+	return failures
+}
+
+func batchEqualBits(a, b [][]complex128) bool {
+	for t := range a {
+		for i := range a[t] {
+			if math.Float64bits(real(a[t][i])) != math.Float64bits(real(b[t][i])) ||
+				math.Float64bits(imag(a[t][i])) != math.Float64bits(imag(b[t][i])) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // checkHostEngine verifies the parallel host engine against the serial
@@ -86,13 +193,15 @@ func checkHostEngine(minLog, maxLog int, seed int64, workers int) int {
 			if p > n {
 				continue
 			}
-			h, err := codeletfft.NewHostPlan(n, p)
+			h, err := codeletfft.NewHostPlan(n,
+				codeletfft.WithTaskSize(p),
+				codeletfft.WithWorkers(workers),
+				codeletfft.WithThreshold(1))
 			if err != nil {
 				failures++
 				fmt.Fprintf(os.Stderr, "fftcheck: host N=2^%d P=%d: %v\n", lg, p, err)
 				continue
 			}
-			h.SetParallel(codeletfft.ParallelConfig{Workers: workers, Threshold: 1})
 
 			rng := rand.New(rand.NewSource(seed))
 			x := make([]complex128, n)
@@ -142,7 +251,7 @@ func workersLabel(workers int) int {
 	if workers > 0 {
 		return workers
 	}
-	h, err := codeletfft.NewHostPlan(2, 2)
+	h, err := codeletfft.NewHostPlan(2)
 	if err != nil {
 		return 0
 	}

@@ -11,6 +11,7 @@
 //   - internal/codelet  codelet runtime (pools, counters, barriers)
 //   - internal/fft      FFT math (plans, kernels, reference transforms)
 //   - internal/host     parallel host execution engine (worker pool)
+//   - internal/cache    sharded LRU cache behind CachedHostPlan
 //   - internal/core     the paper's five algorithm variants
 //   - internal/exp      one runner per figure/table of the evaluation
 //
@@ -24,19 +25,36 @@
 // The staged kernels are also a plain host FFT library. HostPlan runs
 // them serially or — the real-hardware counterpart to the paper's
 // fine-grain scheduling — sharded across goroutines, one chunk of each
-// stage's independent butterfly tasks per worker:
+// stage's independent butterfly tasks per worker. Plans are built with
+// functional options; every knob has a sensible default:
 //
-//	h, err := codeletfft.NewHostPlan(1<<20, 64)
-//	h.SetParallel(codeletfft.ParallelConfig{Workers: 8}) // optional
+//	h, err := codeletfft.NewHostPlan(1<<20,
+//	    codeletfft.WithTaskSize(64),     // P-point kernels (default 64)
+//	    codeletfft.WithWorkers(8),       // default GOMAXPROCS
+//	    codeletfft.WithThreshold(1<<13)) // serial below this size
 //	h.ParallelTransform(data) // bitwise identical to h.Transform(data)
 //
-// ParallelTransform falls back to the serial path below
-// ParallelConfig.Threshold elements (default 8192), where dispatch
-// overhead would dominate. The parallel engine is hardened by fuzz
-// targets (internal/fft: FuzzTransformRoundTrip,
-// FuzzParallelMatchesSerial), a metamorphic property suite (linearity,
-// Parseval, impulse and shift theorems over every plan shape), and a
-// `go test -race` CI gate.
+// Serving workloads get three more paths on the same engine:
+// TransformBatch/InverseBatch push many same-size transforms through
+// one worker-pool dispatch with zero steady-state allocation;
+// RealTransform/RealInverse handle real-valued signals via a packed
+// N/2-point transform at about twice the complex path's speed; and
+// CachedHostPlan memoizes plan cores in a process-wide, sharded,
+// size-bounded cache so plans can be resolved per request:
+//
+//	h, err := codeletfft.CachedHostPlan(n, codeletfft.WithWorkers(8))
+//	h.TransformBatch(batch)            // [][]complex128, each length N
+//	err = h.RealTransform(spec, x)     // x []float64; N/2+1 Hermitian bins
+//
+// Construction errors wrap the sentinels ErrNotPowerOfTwo and
+// ErrBadTaskSize; wrong-length slices panic with an error wrapping
+// ErrLengthMismatch. ParallelTransform falls back to the serial path
+// below the threshold (default 8192 elements), where dispatch overhead
+// would dominate. The parallel engine is hardened by fuzz targets
+// (internal/fft: FuzzTransformRoundTrip, FuzzParallelMatchesSerial,
+// FuzzRealRoundTrip), a metamorphic property suite (linearity,
+// Parseval, impulse and shift theorems over every plan shape),
+// allocation guards on the batched path, and a `go test -race` CI gate.
 package codeletfft
 
 import (

@@ -29,11 +29,12 @@ func main() {
 	flag.Parse()
 
 	n := 1 << *logN
-	h, err := codeletfft.NewHostPlan(n, *p)
+	h, err := codeletfft.NewHostPlan(n,
+		codeletfft.WithTaskSize(*p),
+		codeletfft.WithWorkers(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}
-	h.SetParallel(codeletfft.ParallelConfig{Workers: *workers})
 
 	rng := rand.New(rand.NewSource(1))
 	x := make([]complex128, n)

@@ -1,0 +1,90 @@
+// Example serving sketches the request-serving workflow the options API
+// targets: plans come from the process-wide cache instead of being
+// hand-managed, same-size requests are batched through one dispatch,
+// and real-valued signals take the packed half-size path.
+//
+//	go run ./examples/serving
+//	go run ./examples/serving -logn 14 -batch 32 -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"codeletfft"
+)
+
+func main() {
+	var (
+		logN    = flag.Int("logn", 12, "transform length: N=2^logn")
+		batch   = flag.Int("batch", 64, "requests per batch")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	n := 1 << *logN
+
+	// One call per request: the (N, taskSize) core — stage decomposition
+	// and twiddle tables — is built once and shared; only the lightweight
+	// engine wrapper is per-call.
+	h, err := codeletfft.CachedHostPlan(n,
+		codeletfft.WithTaskSize(64),
+		codeletfft.WithWorkers(*workers),
+		codeletfft.WithThreshold(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := codeletfft.CachedHostPlan(n, codeletfft.WithTaskSize(64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = again
+	fmt.Printf("plan cache holds %d core(s) after two lookups of one shape\n\n",
+		codeletfft.PlanCacheLen())
+
+	// A batch of same-size complex requests through one dispatch.
+	rng := rand.New(rand.NewSource(1))
+	reqs := make([][]complex128, *batch)
+	for r := range reqs {
+		reqs[r] = make([]complex128, n)
+		for i := range reqs[r] {
+			reqs[r][i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	start := time.Now()
+	h.TransformBatch(reqs)
+	h.InverseBatch(reqs)
+	fmt.Printf("batched %d × N=2^%d forward+inverse in %v (%d workers)\n",
+		*batch, *logN, time.Since(start), h.Workers())
+
+	// A real-valued signal through the packed half-size path.
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*float64(i)*5/float64(n)) + 0.5*rng.NormFloat64()
+	}
+	spec := make([]complex128, n/2+1)
+	if err := h.RealTransform(spec, x); err != nil {
+		log.Fatal(err)
+	}
+	peak, peakMag := 0, 0.0
+	for k, c := range spec {
+		if m := math.Hypot(real(c), imag(c)); m > peakMag {
+			peak, peakMag = k, m
+		}
+	}
+	back := make([]float64, n)
+	if err := h.RealInverse(back, spec); err != nil {
+		log.Fatal(err)
+	}
+	var rt float64
+	for i := range back {
+		if v := math.Abs(back[i] - x[i]); v > rt {
+			rt = v
+		}
+	}
+	fmt.Printf("real input: %d spectrum bins, peak at bin %d, round-trip error %.3g\n",
+		len(spec), peak, rt)
+}

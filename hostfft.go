@@ -1,12 +1,129 @@
 package codeletfft
 
 import (
+	"sync"
+
+	"codeletfft/internal/cache"
 	"codeletfft/internal/fft"
 	"codeletfft/internal/host"
 )
 
+// Sentinel errors re-exported from the core package so callers can test
+// failure modes with errors.Is without importing internal packages.
+// Length-mismatch panics raised by Transform and friends carry an error
+// value wrapping ErrLengthMismatch.
+var (
+	// ErrNotPowerOfTwo reports a transform length that is not a power of
+	// two (or is below the algorithm's minimum).
+	ErrNotPowerOfTwo = fft.ErrNotPowerOfTwo
+	// ErrBadTaskSize reports a task size that is not a power of two ≥ 2
+	// or exceeds the transform length.
+	ErrBadTaskSize = fft.ErrBadTaskSize
+	// ErrLengthMismatch reports a data slice whose length does not match
+	// the plan. It is delivered by panic, not by return value, because it
+	// is a programming error rather than an environmental condition.
+	ErrLengthMismatch = fft.ErrLengthMismatch
+)
+
+// hostOpts is the resolved option set for plan construction.
+type hostOpts struct {
+	taskSize  int
+	workers   int
+	threshold int
+}
+
+// HostOption configures NewHostPlan, NewHostPlan2D, and CachedHostPlan.
+type HostOption func(*hostOpts)
+
+// WithTaskSize selects the P-point kernel size of the staged
+// decomposition (the paper's codelet size). It must be a power of two
+// between 2 and the transform length; 64 — the paper's sweet spot — is
+// the default. For a transform shorter than the default, the task size
+// is clamped to the transform length.
+func WithTaskSize(p int) HostOption {
+	return func(o *hostOpts) { o.taskSize = p }
+}
+
+// WithWorkers sets the goroutine count of the parallel engine behind
+// ParallelTransform, TransformBatch, and friends. 0 (the default) means
+// GOMAXPROCS.
+func WithWorkers(n int) HostOption {
+	return func(o *hostOpts) { o.workers = n }
+}
+
+// WithThreshold sets the minimum element count (N for a single
+// transform, B·N for a batch) at which the parallel path engages;
+// smaller workloads run serially, where dispatch overhead would
+// dominate. 0 means the package default (8192); 1 forces the parallel
+// path at every size.
+func WithThreshold(n int) HostOption {
+	return func(o *hostOpts) { o.threshold = n }
+}
+
+func resolveOpts(n int, opts []HostOption) hostOpts {
+	o := hostOpts{taskSize: min(64, n)}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// hostCore is the immutable, shareable part of a HostPlan: the stage
+// decomposition, the twiddle table, and the lazily built real-input
+// plan. CachedHostPlan hands the same core to many HostPlans; only the
+// engine differs per plan.
+type hostCore struct {
+	pl *fft.Plan
+	w  []complex128
+
+	realOnce sync.Once
+	real     *fft.RealPlan
+	realErr  error
+}
+
+func newHostCore(n, taskSize int) (*hostCore, error) {
+	pl, err := fft.NewPlan(n, taskSize)
+	if err != nil {
+		return nil, err
+	}
+	return &hostCore{pl: pl, w: fft.Twiddles(n)}, nil
+}
+
+// realPlan builds the N-point real-input plan on first use. It fails
+// for N < 4, the packing trick's minimum.
+func (c *hostCore) realPlan() (*fft.RealPlan, error) {
+	c.realOnce.Do(func() {
+		c.real, c.realErr = fft.NewRealPlan(c.pl.N, c.pl.P)
+	})
+	return c.real, c.realErr
+}
+
+// planKey identifies a cached core: the transform length and the task
+// size fully determine the decomposition and twiddle table.
+type planKey struct {
+	n, p int
+}
+
+func planKeyHash(k planKey) uint64 {
+	h := uint64(k.n)*0x9e3779b97f4a7c15 ^ uint64(k.p)*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	h *= 0x94d049bb133111eb
+	return h ^ h>>32
+}
+
+// planCache memoizes plan cores across CachedHostPlan calls. 8 shards ×
+// 16 entries bounds it at 128 cores; serving workloads use a handful of
+// sizes, so eviction is rare in practice.
+var planCache = cache.New[planKey, *hostCore](8, 16, planKeyHash)
+
+// PlanCacheLen reports how many plan cores CachedHostPlan currently
+// retains — an observability hook for serving systems.
+func PlanCacheLen() int { return planCache.Len() }
+
 // ParallelConfig tunes the parallel host execution engine behind
 // HostPlan.ParallelTransform and friends.
+//
+// Deprecated: pass WithWorkers and WithThreshold to NewHostPlan instead.
 type ParallelConfig struct {
 	// Workers is the number of goroutines per parallel pass; 0 means
 	// GOMAXPROCS.
@@ -23,50 +140,148 @@ type ParallelConfig struct {
 // simulated codelets execute, callable as a plain FFT library.
 //
 // A HostPlan is immutable after construction (SetParallel replaces the
-// engine wholesale), so one plan may serve concurrent Transform or
-// ParallelTransform calls on distinct data arrays.
+// engine wholesale), so one plan may serve concurrent Transform,
+// ParallelTransform, or TransformBatch calls on distinct data arrays.
 type HostPlan struct {
-	pl  *fft.Plan
-	w   []complex128
-	eng *host.Engine
+	core *hostCore
+	eng  *host.Engine
 }
 
-// NewHostPlan builds a host-side plan for n-point transforms with
-// taskSize-point kernels (64, the paper's sweet spot, is a good default).
-func NewHostPlan(n, taskSize int) (*HostPlan, error) {
-	pl, err := fft.NewPlan(n, taskSize)
+// NewHostPlan builds a host-side plan for n-point transforms. By
+// default it uses 64-point kernels (clamped to n) and a GOMAXPROCS
+// parallel engine; functional options override each knob:
+//
+//	p, err := codeletfft.NewHostPlan(1<<20,
+//	    codeletfft.WithTaskSize(64),
+//	    codeletfft.WithWorkers(8),
+//	    codeletfft.WithThreshold(1<<13))
+func NewHostPlan(n int, opts ...HostOption) (*HostPlan, error) {
+	o := resolveOpts(n, opts)
+	core, err := newHostCore(n, o.taskSize)
 	if err != nil {
 		return nil, err
 	}
-	return &HostPlan{pl: pl, w: fft.Twiddles(n), eng: host.New(host.Config{})}, nil
+	return &HostPlan{core: core, eng: host.New(host.Config{Workers: o.workers, Threshold: o.threshold})}, nil
+}
+
+// CachedHostPlan is NewHostPlan backed by a process-wide, size-bounded,
+// concurrency-safe plan cache keyed by (n, task size). Repeated calls
+// for one shape share the stage decomposition and twiddle table —
+// concurrent first calls run plan construction once (single-flight) —
+// so serving code can call it per request instead of hand-managing
+// plan lifetimes. The engine options (WithWorkers, WithThreshold) are
+// still applied per returned plan.
+func CachedHostPlan(n int, opts ...HostOption) (*HostPlan, error) {
+	o := resolveOpts(n, opts)
+	core, err := planCache.GetOrCreate(planKey{n: n, p: o.taskSize}, func() (*hostCore, error) {
+		return newHostCore(n, o.taskSize)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &HostPlan{core: core, eng: host.New(host.Config{Workers: o.workers, Threshold: o.threshold})}, nil
 }
 
 // N returns the transform length.
-func (h *HostPlan) N() int { return h.pl.N }
+func (h *HostPlan) N() int { return h.core.pl.N }
+
+// TaskSize returns the P-point kernel size of the decomposition.
+func (h *HostPlan) TaskSize() int { return h.core.pl.P }
 
 // Workers returns the worker count the parallel engine resolved.
 func (h *HostPlan) Workers() int { return h.eng.Workers() }
 
 // SetParallel reconfigures the parallel engine. Call before handing the
 // plan to concurrent users.
+//
+// Deprecated: pass WithWorkers and WithThreshold to NewHostPlan instead.
 func (h *HostPlan) SetParallel(cfg ParallelConfig) {
 	h.eng = host.New(host.Config{Workers: cfg.Workers, Threshold: cfg.Threshold})
 }
 
-// Transform applies the forward FFT in place. len(data) must equal N.
-func (h *HostPlan) Transform(data []complex128) { h.pl.Transform(data, h.w) }
+// Transform applies the forward FFT in place. len(data) must equal N;
+// a mismatch panics with an error wrapping ErrLengthMismatch.
+func (h *HostPlan) Transform(data []complex128) { h.core.pl.Transform(data, h.core.w) }
 
 // Inverse applies the inverse FFT in place.
-func (h *HostPlan) Inverse(data []complex128) { h.pl.InverseTransform(data, h.w) }
+func (h *HostPlan) Inverse(data []complex128) { h.core.pl.InverseTransform(data, h.core.w) }
 
 // ParallelTransform applies the forward FFT in place, sharding each
 // stage's butterfly tasks across the engine's workers (serial fallback
 // below the threshold). Output is bitwise identical to Transform.
-func (h *HostPlan) ParallelTransform(data []complex128) { h.eng.Transform(h.pl, data, h.w) }
+func (h *HostPlan) ParallelTransform(data []complex128) { h.eng.Transform(h.core.pl, data, h.core.w) }
 
 // ParallelInverse applies the inverse FFT in place on the parallel
 // engine. Output is bitwise identical to Inverse.
-func (h *HostPlan) ParallelInverse(data []complex128) { h.eng.InverseTransform(h.pl, data, h.w) }
+func (h *HostPlan) ParallelInverse(data []complex128) {
+	h.eng.InverseTransform(h.core.pl, data, h.core.w)
+}
+
+// TransformBatch applies the forward FFT in place to every transform in
+// batch through one worker-pool dispatch: workers steal (transform,
+// task-chunk) units within each lockstep stage pass, so B transforms
+// cost the stage-barrier overhead of one. Every slice must have length
+// N (panics with ErrLengthMismatch otherwise). Output is bitwise
+// identical to calling Transform in a loop, and the steady-state path
+// performs no allocation.
+func (h *HostPlan) TransformBatch(batch [][]complex128) {
+	h.eng.TransformBatch(h.core.pl, batch, h.core.w)
+}
+
+// InverseBatch applies the inverse FFT in place to every transform in
+// batch through one worker-pool dispatch. Output is bitwise identical
+// to calling Inverse in a loop.
+func (h *HostPlan) InverseBatch(batch [][]complex128) {
+	h.eng.InverseBatch(h.core.pl, batch, h.core.w)
+}
+
+// RealTransform computes the forward FFT of the real input x (length N)
+// into spec (length N/2+1, the non-redundant Hermitian half) via one
+// N/2-point complex transform — roughly twice the speed of the complex
+// path. It errors for N < 4. spec[0] and spec[N/2] are exactly real.
+func (h *HostPlan) RealTransform(spec []complex128, x []float64) error {
+	rp, err := h.core.realPlan()
+	if err != nil {
+		return err
+	}
+	rp.Transform(spec, x)
+	return nil
+}
+
+// RealInverse recovers the real signal x (length N) from its Hermitian
+// half-spectrum spec (length N/2+1), inverting RealTransform. Only the
+// real parts of spec[0] and spec[N/2] are used.
+func (h *HostPlan) RealInverse(x []float64, spec []complex128) error {
+	rp, err := h.core.realPlan()
+	if err != nil {
+		return err
+	}
+	rp.Inverse(x, spec)
+	return nil
+}
+
+// ParallelRealTransform is RealTransform with the inner N/2-point
+// complex transform run on the parallel engine. Output is bitwise
+// identical to RealTransform.
+func (h *HostPlan) ParallelRealTransform(spec []complex128, x []float64) error {
+	rp, err := h.core.realPlan()
+	if err != nil {
+		return err
+	}
+	h.eng.RealTransform(rp, spec, x)
+	return nil
+}
+
+// ParallelRealInverse is RealInverse on the parallel engine. Output is
+// bitwise identical to RealInverse.
+func (h *HostPlan) ParallelRealInverse(x []float64, spec []complex128) error {
+	rp, err := h.core.realPlan()
+	if err != nil {
+		return err
+	}
+	h.eng.RealInverse(rp, x, spec)
+	return nil
+}
 
 // HostPlan2D is the 2-D row-column analogue of HostPlan.
 type HostPlan2D struct {
@@ -74,17 +289,22 @@ type HostPlan2D struct {
 	eng *host.Engine
 }
 
-// NewHostPlan2D builds a host-side plan for rows×cols transforms.
-func NewHostPlan2D(rows, cols, taskSize int) (*HostPlan2D, error) {
-	pl, err := fft.NewPlan2D(rows, cols, taskSize)
+// NewHostPlan2D builds a host-side plan for rows×cols transforms. It
+// accepts the same functional options as NewHostPlan; the task size is
+// clamped to each axis length as needed by the row-column pass.
+func NewHostPlan2D(rows, cols int, opts ...HostOption) (*HostPlan2D, error) {
+	o := resolveOpts(min(rows, cols), opts)
+	pl, err := fft.NewPlan2D(rows, cols, o.taskSize)
 	if err != nil {
 		return nil, err
 	}
-	return &HostPlan2D{pl: pl, eng: host.New(host.Config{})}, nil
+	return &HostPlan2D{pl: pl, eng: host.New(host.Config{Workers: o.workers, Threshold: o.threshold})}, nil
 }
 
 // SetParallel reconfigures the parallel engine. Call before handing the
 // plan to concurrent users.
+//
+// Deprecated: pass WithWorkers and WithThreshold to NewHostPlan2D instead.
 func (h *HostPlan2D) SetParallel(cfg ParallelConfig) {
 	h.eng = host.New(host.Config{Workers: cfg.Workers, Threshold: cfg.Threshold})
 }

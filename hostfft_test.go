@@ -1,6 +1,7 @@
 package codeletfft_test
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -30,7 +31,7 @@ func maxErr(a, b []complex128) float64 {
 
 func TestHostPlanMatchesReference(t *testing.T) {
 	n := 1 << 12
-	h, err := codeletfft.NewHostPlan(n, 64)
+	h, err := codeletfft.NewHostPlan(n, codeletfft.WithTaskSize(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,8 +52,14 @@ func TestHostPlanMatchesReference(t *testing.T) {
 }
 
 func TestHostPlanRejectsBadShape(t *testing.T) {
-	if _, err := codeletfft.NewHostPlan(100, 64); err == nil {
-		t.Fatal("non-power-of-two accepted")
+	if _, err := codeletfft.NewHostPlan(100); !errors.Is(err, codeletfft.ErrNotPowerOfTwo) {
+		t.Fatalf("NewHostPlan(100) err = %v, want ErrNotPowerOfTwo", err)
+	}
+	if _, err := codeletfft.NewHostPlan(64, codeletfft.WithTaskSize(3)); !errors.Is(err, codeletfft.ErrBadTaskSize) {
+		t.Fatalf("taskSize 3 err = %v, want ErrBadTaskSize", err)
+	}
+	if _, err := codeletfft.NewHostPlan(64, codeletfft.WithTaskSize(128)); !errors.Is(err, codeletfft.ErrBadTaskSize) {
+		t.Fatalf("taskSize > N err = %v, want ErrBadTaskSize", err)
 	}
 }
 
@@ -73,7 +80,7 @@ func sameBits(a, b []complex128) bool {
 
 func TestHostPlanParallelMatchesSerial(t *testing.T) {
 	n := 1 << 14
-	h, err := codeletfft.NewHostPlan(n, 64)
+	h, err := codeletfft.NewHostPlan(n, codeletfft.WithTaskSize(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +107,7 @@ func TestHostPlanParallelMatchesSerial(t *testing.T) {
 }
 
 func TestHostPlan2DParallelMatchesSerial(t *testing.T) {
-	h, err := codeletfft.NewHostPlan2D(64, 32, 8)
+	h, err := codeletfft.NewHostPlan2D(64, 32, codeletfft.WithTaskSize(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +127,7 @@ func TestHostPlan2DParallelMatchesSerial(t *testing.T) {
 }
 
 func TestHostPlan2DRoundTrip(t *testing.T) {
-	h, err := codeletfft.NewHostPlan2D(32, 64, 16)
+	h, err := codeletfft.NewHostPlan2D(32, 64, codeletfft.WithTaskSize(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,5 +158,175 @@ func TestDFTSmall(t *testing.T) {
 	back := codeletfft.IFFT(codeletfft.FFT(x))
 	if e := maxErr(back, x); e > 1e-20 {
 		t.Fatalf("IFFT(FFT(x)) error %g", e)
+	}
+}
+
+func TestHostPlanOptionDefaults(t *testing.T) {
+	h, err := codeletfft.NewHostPlan(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TaskSize() != 64 {
+		t.Fatalf("default TaskSize = %d, want 64", h.TaskSize())
+	}
+	// The default clamps to the transform length for short inputs.
+	small, err := codeletfft.NewHostPlan(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.TaskSize() != 16 {
+		t.Fatalf("clamped TaskSize = %d, want 16", small.TaskSize())
+	}
+	w, err := codeletfft.NewHostPlan(64, codeletfft.WithWorkers(3), codeletfft.WithThreshold(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Workers() != 3 {
+		t.Fatalf("Workers = %d, want 3", w.Workers())
+	}
+}
+
+func TestHostPlanTransformPanicContract(t *testing.T) {
+	h, err := codeletfft.NewHostPlan(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v := recover()
+		e, ok := v.(error)
+		if !ok || !errors.Is(e, codeletfft.ErrLengthMismatch) {
+			t.Fatalf("panic value %v, want error wrapping ErrLengthMismatch", v)
+		}
+	}()
+	h.Transform(make([]complex128, 63))
+}
+
+func TestHostPlanBatchMatchesLoop(t *testing.T) {
+	const n, b = 512, 7
+	h, err := codeletfft.NewHostPlan(n, codeletfft.WithWorkers(4), codeletfft.WithThreshold(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]complex128, b)
+	want := make([][]complex128, b)
+	for i := range batch {
+		batch[i] = noise(n, int64(i))
+		want[i] = append([]complex128(nil), batch[i]...)
+		h.Transform(want[i])
+	}
+	h.TransformBatch(batch)
+	for i := range batch {
+		if !sameBits(batch[i], want[i]) {
+			t.Fatalf("TransformBatch diverged from Transform loop at transform %d", i)
+		}
+	}
+	for i := range want {
+		h.Inverse(want[i])
+	}
+	h.InverseBatch(batch)
+	for i := range batch {
+		if !sameBits(batch[i], want[i]) {
+			t.Fatalf("InverseBatch diverged from Inverse loop at transform %d", i)
+		}
+	}
+}
+
+func TestHostPlanRealRoundTrip(t *testing.T) {
+	const n = 1 << 10
+	h, err := codeletfft.NewHostPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	x := make([]float64, n)
+	wide := make([]complex128, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		wide[i] = complex(x[i], 0)
+	}
+	spec := make([]complex128, n/2+1)
+	if err := h.RealTransform(spec, x); err != nil {
+		t.Fatal(err)
+	}
+	full := codeletfft.FFT(wide)
+	for k := range spec {
+		d := spec[k] - full[k]
+		if real(d)*real(d)+imag(d)*imag(d) > 1e-18*float64(n) {
+			t.Fatalf("RealTransform bin %d = %v, want %v", k, spec[k], full[k])
+		}
+	}
+	pspec := make([]complex128, n/2+1)
+	if err := h.ParallelRealTransform(pspec, x); err != nil {
+		t.Fatal(err)
+	}
+	if !sameBits(pspec, spec) {
+		t.Fatal("ParallelRealTransform diverged from RealTransform")
+	}
+	back := make([]float64, n)
+	if err := h.RealInverse(back, spec); err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		if math.Abs(back[i]-x[i]) > 1e-12 {
+			t.Fatalf("real round trip diverged at %d: %g vs %g", i, back[i], x[i])
+		}
+	}
+	pback := make([]float64, n)
+	if err := h.ParallelRealInverse(pback, spec); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pback {
+		if math.Abs(pback[i]-x[i]) > 1e-12 {
+			t.Fatalf("parallel real round trip diverged at %d", i)
+		}
+	}
+}
+
+func TestHostPlanRealRejectsTinyPlans(t *testing.T) {
+	h, err := codeletfft.NewHostPlan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RealTransform(make([]complex128, 2), make([]float64, 2)); !errors.Is(err, codeletfft.ErrNotPowerOfTwo) {
+		t.Fatalf("RealTransform on N=2 err = %v, want ErrNotPowerOfTwo", err)
+	}
+}
+
+func TestCachedHostPlan(t *testing.T) {
+	h1, err := codeletfft.CachedHostPlan(1<<9, codeletfft.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := codeletfft.PlanCacheLen()
+	h2, err := codeletfft.CachedHostPlan(1<<9, codeletfft.WithWorkers(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codeletfft.PlanCacheLen() != before {
+		t.Fatalf("second CachedHostPlan for the same shape grew the cache: %d -> %d",
+			before, codeletfft.PlanCacheLen())
+	}
+	// Engine options apply per plan even when the core is shared.
+	if h1.Workers() != 2 || h2.Workers() != 5 {
+		t.Fatalf("Workers = %d, %d, want 2, 5", h1.Workers(), h2.Workers())
+	}
+	// Distinct task size → distinct cache entry.
+	if _, err := codeletfft.CachedHostPlan(1<<9, codeletfft.WithTaskSize(8)); err != nil {
+		t.Fatal(err)
+	}
+	if codeletfft.PlanCacheLen() != before+1 {
+		t.Fatalf("distinct task size did not add an entry: %d -> %d",
+			before, codeletfft.PlanCacheLen())
+	}
+	if _, err := codeletfft.CachedHostPlan(1000); !errors.Is(err, codeletfft.ErrNotPowerOfTwo) {
+		t.Fatalf("CachedHostPlan(1000) err = %v, want ErrNotPowerOfTwo", err)
+	}
+	x := noise(1<<9, 13)
+	a := append([]complex128(nil), x...)
+	b := append([]complex128(nil), x...)
+	h1.Transform(a)
+	h2.Transform(b)
+	if !sameBits(a, b) {
+		t.Fatal("cached plans with a shared core disagree")
 	}
 }

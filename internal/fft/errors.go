@@ -1,0 +1,32 @@
+package fft
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. Constructors return them wrapped with context
+// (test with errors.Is); length-mismatch panics carry an error value
+// wrapping ErrLengthMismatch so recovered panics are testable the same
+// way.
+var (
+	// ErrNotPowerOfTwo reports a transform length (or 2-D dimension)
+	// that is not a power of two.
+	ErrNotPowerOfTwo = errors.New("fft: length is not a power of two")
+	// ErrBadTaskSize reports a task size P that is not a power of two
+	// ≥ 2 or that exceeds the transform length.
+	ErrBadTaskSize = errors.New("fft: invalid task size")
+	// ErrLengthMismatch reports a data/spectrum/twiddle buffer whose
+	// length does not match what the plan requires. It is the panic
+	// value (wrapped) of every length-mismatch panic in this package
+	// and in internal/host.
+	ErrLengthMismatch = errors.New("fft: length mismatch")
+)
+
+// LengthError builds the canonical length-mismatch error: every
+// length-check panic in this package and internal/host uses it, so the
+// wording is uniform and errors.Is(v, ErrLengthMismatch) holds for any
+// recovered panic value v.
+func LengthError(what string, got, want int) error {
+	return fmt.Errorf("%w: %s has %d elements, want %d", ErrLengthMismatch, what, got, want)
+}

@@ -22,10 +22,11 @@ type Plan2D struct {
 }
 
 // NewPlan2D validates the shape and builds per-dimension plans. Task size
-// is clamped to each dimension.
+// is clamped to each dimension. The returned errors wrap ErrNotPowerOfTwo
+// or ErrBadTaskSize.
 func NewPlan2D(rows, cols, taskSize int) (*Plan2D, error) {
 	if Log2(rows) < 1 || Log2(cols) < 1 {
-		return nil, fmt.Errorf("fft: 2-D shape %dx%d must be powers of two ≥ 2", rows, cols)
+		return nil, fmt.Errorf("%w: 2-D shape %dx%d must be powers of two ≥ 2", ErrNotPowerOfTwo, rows, cols)
 	}
 	rp, err := NewPlan(cols, min(taskSize, cols))
 	if err != nil {
@@ -42,9 +43,11 @@ func NewPlan2D(rows, cols, taskSize int) (*Plan2D, error) {
 }
 
 // Transform applies the 2-D FFT in place to data in row-major order.
+// It panics with an error wrapping ErrLengthMismatch if len(data) is
+// not Rows×Cols.
 func (p *Plan2D) Transform(data []complex128) {
 	if len(data) != p.Rows*p.Cols {
-		panic("fft: 2-D data length mismatch")
+		panic(LengthError("2-D data", len(data), p.Rows*p.Cols))
 	}
 	// Row pass.
 	rsc := NewScratch(p.RowPlan)

@@ -73,6 +73,50 @@ func FuzzTransformRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzRealRoundTrip drives the real-input path: the packed RFFT must
+// match the complex transform of the widened signal bin-for-bin, and
+// Inverse(Transform(x)) must return x. Both checks run at every fuzzed
+// (length, task size) the decoder produces.
+func FuzzRealRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(0))
+	f.Add(make([]byte, 128), uint8(3))
+	f.Add([]byte{255, 1, 254, 2, 253, 3, 252, 4, 128, 127, 0, 64}, uint8(5))
+	f.Fuzz(func(t *testing.T, raw []byte, p8 uint8) {
+		z, p := fuzzInput(raw, p8)
+		if z == nil || len(z) < 4 {
+			t.Skip("input too short for a real plan")
+		}
+		n := len(z)
+		x := make([]float64, n)
+		for i, v := range z {
+			x[i] = real(v)
+		}
+		rp, err := fft.NewRealPlan(n, p)
+		if err != nil {
+			t.Fatalf("NewRealPlan(%d, %d): %v", n, p, err)
+		}
+		spec := make([]complex128, rp.SpectrumLen())
+		rp.Transform(spec, x)
+
+		wide := make([]complex128, n)
+		for i, v := range x {
+			wide[i] = complex(v, 0)
+		}
+		want := fft.Recursive(wide)
+		if e := fft.MaxError(spec, want[:n/2+1]); e > 1e-9 {
+			t.Fatalf("N=%d P=%d: RFFT vs complex FFT error %g", n, p, e)
+		}
+
+		back := make([]float64, n)
+		rp.Inverse(back, spec)
+		for i := range x {
+			if d := back[i] - x[i]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("N=%d P=%d: round trip diverged at %d (%g vs %g)", n, p, i, back[i], x[i])
+			}
+		}
+	})
+}
+
 func FuzzParallelMatchesSerial(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(0), uint8(2))
 	f.Add(make([]byte, 512), uint8(5), uint8(7))

@@ -99,7 +99,8 @@ func (pl *Plan) RunTask(stage, task int, data, w []complex128, twiddleAt func(in
 // Transform runs the complete staged FFT sequentially on the host: the
 // bit-reversal permutation followed by every stage's tasks in order. It
 // validates the plan decomposition itself, independent of any scheduling
-// or machine model. w must be Twiddles(pl.N).
+// or machine model. w must be Twiddles(pl.N); a data or twiddle slice of
+// the wrong length panics with an error wrapping ErrLengthMismatch.
 //
 // Transform allocates a fresh Scratch per call and is therefore safe to
 // call concurrently on distinct data arrays; use TransformWith to amortize
@@ -114,10 +115,10 @@ func (pl *Plan) Transform(data, w []complex128) {
 // call.
 func (pl *Plan) TransformWith(data, w []complex128, sc *Scratch) {
 	if len(data) != pl.N {
-		panic("fft: data length does not match plan")
+		panic(LengthError("data", len(data), pl.N))
 	}
 	if len(w) != pl.N/2 {
-		panic("fft: twiddle table length must be N/2")
+		panic(LengthError("twiddle table", len(w), pl.N/2))
 	}
 	BitReversePermute(data)
 	for stage := 0; stage < pl.NumStages; stage++ {
@@ -130,10 +131,17 @@ func (pl *Plan) TransformWith(data, w []complex128, sc *Scratch) {
 // InverseTransform applies the inverse FFT using the same plan via the
 // conjugation identity.
 func (pl *Plan) InverseTransform(data, w []complex128) {
+	pl.InverseTransformWith(data, w, NewScratch(pl))
+}
+
+// InverseTransformWith is InverseTransform with a caller-provided
+// Scratch — the inverse counterpart of TransformWith, for batch loops
+// and worker pools that must not allocate per transform.
+func (pl *Plan) InverseTransformWith(data, w []complex128, sc *Scratch) {
 	for i, v := range data {
 		data[i] = complex(real(v), -imag(v))
 	}
-	pl.Transform(data, w)
+	pl.TransformWith(data, w, sc)
 	inv := 1 / float64(pl.N)
 	for i, v := range data {
 		data[i] = complex(real(v)*inv, -imag(v)*inv)

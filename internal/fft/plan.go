@@ -23,17 +23,18 @@ type Plan struct {
 	TasksPerStage int
 }
 
-// NewPlan validates n and p and returns the stage decomposition.
+// NewPlan validates n and p and returns the stage decomposition. The
+// returned errors wrap ErrNotPowerOfTwo or ErrBadTaskSize.
 func NewPlan(n, p int) (*Plan, error) {
 	logN, logP := Log2(n), Log2(p)
 	if logN < 0 {
-		return nil, fmt.Errorf("fft: N=%d is not a power of two", n)
+		return nil, fmt.Errorf("%w: N=%d", ErrNotPowerOfTwo, n)
 	}
 	if logP < 1 {
-		return nil, fmt.Errorf("fft: task size P=%d must be a power of two ≥ 2", p)
+		return nil, fmt.Errorf("%w: P=%d must be a power of two ≥ 2", ErrBadTaskSize, p)
 	}
 	if p > n {
-		return nil, fmt.Errorf("fft: task size P=%d exceeds N=%d", p, n)
+		return nil, fmt.Errorf("%w: P=%d exceeds N=%d", ErrBadTaskSize, p, n)
 	}
 	stages := (logN + logP - 1) / logP
 	return &Plan{

@@ -1,0 +1,166 @@
+package fft
+
+import "fmt"
+
+// RealPlan computes the FFT of a length-N real signal with one N/2-point
+// complex FFT — the classic packing trick: adjacent real samples become
+// the real and imaginary parts of an N/2-point complex sequence, the half
+// transform runs through the ordinary staged Plan, and an O(N) split pass
+// untangles the even- and odd-sample spectra into the real signal's
+// half-spectrum. Real input is the dominant serving workload (audio,
+// sensor streams, telemetry), and the packing roughly halves both the
+// arithmetic and the memory traffic of the complex path.
+//
+// The spectrum of a real signal is Hermitian (X[N−k] = conj(X[k])), so
+// only the N/2+1 bins X[0..N/2] are produced; X[0] and X[N/2] are purely
+// real by construction.
+//
+// A RealPlan is immutable after NewRealPlan and safe for any number of
+// concurrent users (each call needs its own buffers).
+type RealPlan struct {
+	// N is the real-input length (power of two ≥ 4).
+	N int
+	// Half is the N/2-point complex plan the packed sequence runs through.
+	Half *Plan
+	// WHalf is Twiddles(N/2), the half transform's table.
+	WHalf []complex128
+	// WReal is Twiddles(N): WReal[k] = exp(−2πik/N) for k in [0, N/2),
+	// the split-pass factors.
+	WReal []complex128
+}
+
+// NewRealPlan builds a real-input plan for n-point transforms whose half
+// transform uses taskSize-point kernels (clamped to n/2). n must be a
+// power of two ≥ 4 so the half transform is a valid plan; errors wrap
+// ErrNotPowerOfTwo or ErrBadTaskSize.
+func NewRealPlan(n, taskSize int) (*RealPlan, error) {
+	if Log2(n) < 0 {
+		return nil, fmt.Errorf("%w: N=%d", ErrNotPowerOfTwo, n)
+	}
+	if n < 4 {
+		return nil, fmt.Errorf("%w: real transform length N=%d must be ≥ 4", ErrNotPowerOfTwo, n)
+	}
+	h := n / 2
+	half, err := NewPlan(h, min(taskSize, h))
+	if err != nil {
+		return nil, err
+	}
+	return &RealPlan{N: n, Half: half, WHalf: Twiddles(h), WReal: Twiddles(n)}, nil
+}
+
+// SpectrumLen returns N/2 + 1, the length of the half-spectrum buffer
+// Transform fills and Inverse consumes.
+func (rp *RealPlan) SpectrumLen() int { return rp.N/2 + 1 }
+
+// Pack interleaves the real signal src (length N) into dst[:N/2] as
+// dst[j] = src[2j] + i·src[2j+1], leaving dst[N/2] untouched. dst must
+// have SpectrumLen elements.
+func (rp *RealPlan) Pack(dst []complex128, src []float64) {
+	rp.checkSpectrum(dst)
+	if len(src) != rp.N {
+		panic(LengthError("real input", len(src), rp.N))
+	}
+	for j := 0; j < rp.N/2; j++ {
+		dst[j] = complex(src[2*j], src[2*j+1])
+	}
+}
+
+// Unpack turns the half transform's output Z = dst[:N/2] into the real
+// signal's half-spectrum X[0..N/2] in place. With E and O the spectra of
+// the even and odd samples, Hermitian symmetry gives
+//
+//	E[k] = (Z[k] + conj(Z[h−k]))/2
+//	O[k] = −i·(Z[k] − conj(Z[h−k]))/2
+//	X[k] = E[k] + W[k]·O[k],  W[k] = exp(−2πik/N), h = N/2,
+//
+// and the pair (k, h−k) is resolved simultaneously so the pass runs in
+// place.
+func (rp *RealPlan) Unpack(dst []complex128) {
+	rp.checkSpectrum(dst)
+	h := rp.N / 2
+	z0 := dst[0]
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	dst[h] = complex(real(z0)-imag(z0), 0)
+	for k := 1; k <= h/2; k++ {
+		zk, zm := dst[k], dst[h-k]
+		e := (zk + conj(zm)) * 0.5
+		o := (zk - conj(zm)) * complex(0, -0.5)
+		dst[k] = e + rp.WReal[k]*o
+		dst[h-k] = conj(e) + rp.WReal[h-k]*conj(o)
+	}
+}
+
+// Transform computes the half-spectrum of the length-N real signal src
+// into dst (length SpectrumLen): pack, N/2-point FFT, split. src is not
+// modified. Buffers of the wrong length panic with an error wrapping
+// ErrLengthMismatch.
+func (rp *RealPlan) Transform(dst []complex128, src []float64) {
+	rp.TransformWith(dst, src, NewScratch(rp.Half))
+}
+
+// TransformWith is Transform with a caller-provided Scratch (sized for
+// Half), for batch loops and worker pools that must not allocate.
+func (rp *RealPlan) TransformWith(dst []complex128, src []float64, sc *Scratch) {
+	rp.Pack(dst, src)
+	rp.Half.TransformWith(dst[:rp.N/2], rp.WHalf, sc)
+	rp.Unpack(dst)
+}
+
+// PreInverse rebuilds the packed half transform Z (into work, length
+// N/2) from the half-spectrum src (length SpectrumLen) — the exact
+// inverse of Unpack, using X[k+h] = conj(X[h−k]):
+//
+//	E[k] = (X[k] + conj(X[h−k]))/2
+//	O[k] = (X[k] − conj(X[h−k]))/2 · conj(W[k])
+//	Z[k] = E[k] + i·O[k].
+func (rp *RealPlan) PreInverse(work, src []complex128) {
+	h := rp.N / 2
+	if len(work) != h {
+		panic(LengthError("work buffer", len(work), h))
+	}
+	rp.checkSpectrum(src)
+	for k := 0; k < h; k++ {
+		a, b := src[k], conj(src[h-k])
+		e := (a + b) * 0.5
+		o := (a - b) * 0.5 * conj(rp.WReal[k])
+		work[k] = e + o*complex(0, 1)
+	}
+}
+
+// PostInverse de-interleaves the inverse half transform work (length
+// N/2) into the real signal dst (length N).
+func (rp *RealPlan) PostInverse(dst []float64, work []complex128) {
+	if len(dst) != rp.N {
+		panic(LengthError("real output", len(dst), rp.N))
+	}
+	if len(work) != rp.N/2 {
+		panic(LengthError("work buffer", len(work), rp.N/2))
+	}
+	for j, v := range work {
+		dst[2*j] = real(v)
+		dst[2*j+1] = imag(v)
+	}
+}
+
+// Inverse recovers the length-N real signal from its half-spectrum src
+// (length SpectrumLen) into dst. src is not modified. Inverse allocates
+// an N/2 work buffer and scratch; use InverseWith on hot paths.
+func (rp *RealPlan) Inverse(dst []float64, src []complex128) {
+	rp.InverseWith(dst, src, make([]complex128, rp.N/2), NewScratch(rp.Half))
+}
+
+// InverseWith is Inverse with a caller-provided work buffer (length
+// N/2) and Scratch, allocating nothing.
+func (rp *RealPlan) InverseWith(dst []float64, src, work []complex128, sc *Scratch) {
+	rp.PreInverse(work, src)
+	rp.Half.InverseTransformWith(work, rp.WHalf, sc)
+	rp.PostInverse(dst, work)
+}
+
+func (rp *RealPlan) checkSpectrum(s []complex128) {
+	if len(s) != rp.N/2+1 {
+		panic(LengthError("half-spectrum", len(s), rp.N/2+1))
+	}
+}
+
+func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }

@@ -39,12 +39,25 @@ type Config struct {
 	Threshold int
 }
 
-// Engine executes plans with a pool of worker goroutines. An Engine is
-// immutable after New and safe for concurrent use: simultaneous Transform
-// calls on distinct data arrays simply run their own worker sets.
+// Engine executes plans with a pool of worker goroutines. An Engine's
+// configuration is immutable after New and an Engine is safe for
+// concurrent use: simultaneous Transform calls on distinct data arrays
+// simply run their own worker sets, and simultaneous batch calls share
+// the persistent batch pool.
 type Engine struct {
 	workers   int
 	threshold int
+
+	// scratch recycles per-worker *fft.Scratch buffers across batch
+	// calls so the steady state allocates nothing. It is a separate
+	// allocation (not an inline field) so the persistent batch workers
+	// can hold it without keeping the Engine itself reachable — the
+	// Engine's finalizer is what shuts the workers down.
+	scratch *sync.Pool
+
+	// Persistent batch worker pool, created on the first batched call.
+	poolOnce sync.Once
+	jobs     chan *batchJob
 }
 
 // New builds an engine, applying the Config defaults.
@@ -57,7 +70,7 @@ func New(cfg Config) *Engine {
 	if th <= 0 {
 		th = DefaultThreshold
 	}
-	return &Engine{workers: w, threshold: th}
+	return &Engine{workers: w, threshold: th, scratch: new(sync.Pool)}
 }
 
 // Workers returns the resolved worker count.
@@ -124,7 +137,7 @@ func (e *Engine) bitReverse(data []complex128, width int) {
 // fft.Twiddles(pl.N). Output is bitwise identical to pl.Transform.
 func (e *Engine) Transform(pl *fft.Plan, data, w []complex128) {
 	if len(data) != pl.N {
-		panic("host: data length does not match plan")
+		panic(fft.LengthError("data", len(data), pl.N))
 	}
 	if pl.N < e.threshold || e.workers <= 1 {
 		pl.Transform(data, w)
@@ -153,7 +166,7 @@ func (e *Engine) Transform(pl *fft.Plan, data, w []complex128) {
 // is bitwise identical to pl.InverseTransform.
 func (e *Engine) InverseTransform(pl *fft.Plan, data, w []complex128) {
 	if len(data) != pl.N {
-		panic("host: data length does not match plan")
+		panic(fft.LengthError("data", len(data), pl.N))
 	}
 	if pl.N < e.threshold || e.workers <= 1 {
 		pl.InverseTransform(data, w)
@@ -180,7 +193,7 @@ func (e *Engine) InverseTransform(pl *fft.Plan, data, w []complex128) {
 // own column buffer. Output is bitwise identical to p.Transform.
 func (e *Engine) Transform2D(p *fft.Plan2D, data []complex128) {
 	if len(data) != p.Rows*p.Cols {
-		panic("host: 2-D data length mismatch")
+		panic(fft.LengthError("2-D data", len(data), p.Rows*p.Cols))
 	}
 	if p.Rows*p.Cols < e.threshold || e.workers <= 1 {
 		p.Transform(data)
@@ -211,7 +224,7 @@ func (e *Engine) Transform2D(p *fft.Plan2D, data []complex128) {
 // bitwise identical to p.InverseTransform.
 func (e *Engine) InverseTransform2D(p *fft.Plan2D, data []complex128) {
 	if len(data) != p.Rows*p.Cols {
-		panic("host: 2-D data length mismatch")
+		panic(fft.LengthError("2-D data", len(data), p.Rows*p.Cols))
 	}
 	if p.Rows*p.Cols < e.threshold || e.workers <= 1 {
 		p.InverseTransform(data)

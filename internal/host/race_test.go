@@ -1,0 +1,7 @@
+//go:build race
+
+package host_test
+
+// raceEnabled skips allocation-count guards under the race detector,
+// whose instrumentation allocates on its own.
+const raceEnabled = true
