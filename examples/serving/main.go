@@ -13,10 +13,29 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"codeletfft"
 )
+
+// tally is a minimal EngineObserver: it counts batch dispatches and
+// per-pass engine time, the same hook the serving daemon uses to feed
+// its /metrics histograms.
+type tally struct {
+	batches  atomic.Int64
+	requests atomic.Int64
+	passNS   atomic.Int64
+}
+
+func (t *tally) ObserveBatch(batch, n int, d time.Duration) {
+	t.batches.Add(1)
+	t.requests.Add(int64(batch))
+}
+
+func (t *tally) ObservePass(pass string, d time.Duration) {
+	t.passNS.Add(d.Nanoseconds())
+}
 
 func main() {
 	var (
@@ -30,10 +49,12 @@ func main() {
 	// One call per request: the (N, taskSize) core — stage decomposition
 	// and twiddle tables — is built once and shared; only the lightweight
 	// engine wrapper is per-call.
+	obs := &tally{}
 	h, err := codeletfft.CachedHostPlan(n,
 		codeletfft.WithTaskSize(64),
 		codeletfft.WithWorkers(*workers),
-		codeletfft.WithThreshold(1))
+		codeletfft.WithThreshold(1),
+		codeletfft.WithObserver(obs))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,4 +108,12 @@ func main() {
 	}
 	fmt.Printf("real input: %d spectrum bins, peak at bin %d, round-trip error %.3g\n",
 		len(spec), peak, rt)
+
+	// The observer saw every engine dispatch above; the cache counters
+	// saw every plan lookup. These are the exact numbers fftserved
+	// exports on /metrics.
+	hits, misses := codeletfft.PlanCacheStats()
+	fmt.Printf("\ntelemetry: %d engine batches (%d transforms), %v in timed passes; plan cache %d hits / %d misses\n",
+		obs.batches.Load(), obs.requests.Load(),
+		time.Duration(obs.passNS.Load()), hits, misses)
 }

@@ -30,7 +30,16 @@ type hostOpts struct {
 	taskSize  int
 	workers   int
 	threshold int
+	observer  EngineObserver
 }
+
+// EngineObserver receives execution telemetry from a plan's parallel
+// engine: one ObserveBatch call per batched dispatch (its occupancy and
+// wall time) and one ObservePass call per lockstep pass (bit-reversal,
+// each butterfly stage, the inverse path's conjugate/scale sweeps).
+// Implementations must be cheap and safe for concurrent use; the
+// serving daemon backs one with atomic histogram instruments.
+type EngineObserver = host.Observer
 
 // HostOption configures NewHostPlan, NewHostPlan2D, and CachedHostPlan.
 type HostOption func(*hostOpts)
@@ -60,12 +69,24 @@ func WithThreshold(n int) HostOption {
 	return func(o *hostOpts) { o.threshold = n }
 }
 
+// WithObserver attaches an EngineObserver to the plan's parallel
+// engine, so the batch and parallel paths report occupancy and
+// per-pass latency instead of being measured from outside.
+func WithObserver(obs EngineObserver) HostOption {
+	return func(o *hostOpts) { o.observer = obs }
+}
+
 func resolveOpts(n int, opts []HostOption) hostOpts {
 	o := hostOpts{taskSize: min(64, n)}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	return o
+}
+
+// engine builds the parallel engine the resolved options describe.
+func (o hostOpts) engine() *host.Engine {
+	return host.New(host.Config{Workers: o.workers, Threshold: o.threshold, Observer: o.observer})
 }
 
 // hostCore is the immutable, shareable part of a HostPlan: the stage
@@ -120,6 +141,12 @@ var planCache = cache.New[planKey, *hostCore](8, 16, planKeyHash)
 // retains — an observability hook for serving systems.
 func PlanCacheLen() int { return planCache.Len() }
 
+// PlanCacheStats reports the plan cache's lifetime hit and miss counts
+// — the companion observability hook to PlanCacheLen. A CachedHostPlan
+// call that reuses (or joins the single-flight construction of) a core
+// counts as a hit; one that starts construction counts as a miss.
+func PlanCacheStats() (hits, misses int64) { return planCache.Stats() }
+
 // ParallelConfig tunes the parallel host execution engine behind
 // HostPlan.ParallelTransform and friends.
 //
@@ -161,7 +188,7 @@ func NewHostPlan(n int, opts ...HostOption) (*HostPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &HostPlan{core: core, eng: host.New(host.Config{Workers: o.workers, Threshold: o.threshold})}, nil
+	return &HostPlan{core: core, eng: o.engine()}, nil
 }
 
 // CachedHostPlan is NewHostPlan backed by a process-wide, size-bounded,
@@ -179,7 +206,7 @@ func CachedHostPlan(n int, opts ...HostOption) (*HostPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &HostPlan{core: core, eng: host.New(host.Config{Workers: o.workers, Threshold: o.threshold})}, nil
+	return &HostPlan{core: core, eng: o.engine()}, nil
 }
 
 // N returns the transform length.
@@ -298,7 +325,7 @@ func NewHostPlan2D(rows, cols int, opts ...HostOption) (*HostPlan2D, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &HostPlan2D{pl: pl, eng: host.New(host.Config{Workers: o.workers, Threshold: o.threshold})}, nil
+	return &HostPlan2D{pl: pl, eng: o.engine()}, nil
 }
 
 // SetParallel reconfigures the parallel engine. Call before handing the

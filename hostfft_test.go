@@ -4,7 +4,9 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"codeletfft"
 )
@@ -328,5 +330,62 @@ func TestCachedHostPlan(t *testing.T) {
 	h2.Transform(b)
 	if !sameBits(a, b) {
 		t.Fatal("cached plans with a shared core disagree")
+	}
+}
+
+// countObserver counts engine telemetry through the facade option.
+type countObserver struct {
+	batches, passes atomic.Int64
+	occupancy       atomic.Int64
+}
+
+func (o *countObserver) ObserveBatch(batch, n int, d time.Duration) {
+	o.batches.Add(1)
+	o.occupancy.Add(int64(batch))
+}
+
+func (o *countObserver) ObservePass(pass string, d time.Duration) { o.passes.Add(1) }
+
+func TestWithObserverThreadsTelemetry(t *testing.T) {
+	const n, batchSize = 256, 4
+	obs := new(countObserver)
+	h, err := codeletfft.NewHostPlan(n,
+		codeletfft.WithWorkers(4),
+		codeletfft.WithThreshold(1),
+		codeletfft.WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]complex128, batchSize)
+	for i := range batch {
+		batch[i] = noise(n, int64(i))
+	}
+	h.TransformBatch(batch)
+	if got := obs.batches.Load(); got != 1 {
+		t.Fatalf("ObserveBatch calls = %d, want 1", got)
+	}
+	if got := obs.occupancy.Load(); got != batchSize {
+		t.Fatalf("occupancy = %d, want %d", got, batchSize)
+	}
+	if obs.passes.Load() == 0 {
+		t.Fatal("no passes observed")
+	}
+}
+
+func TestPlanCacheStats(t *testing.T) {
+	h0, m0 := codeletfft.PlanCacheStats()
+	const n = 1 << 9 // a size no other test is likely to have cached with this task size
+	if _, err := codeletfft.CachedHostPlan(n, codeletfft.WithTaskSize(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codeletfft.CachedHostPlan(n, codeletfft.WithTaskSize(4)); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := codeletfft.PlanCacheStats()
+	if m1-m0 < 1 {
+		t.Fatalf("misses went %d -> %d, want at least one new miss", m0, m1)
+	}
+	if h1-h0 < 1 {
+		t.Fatalf("hits went %d -> %d, want at least one new hit", h0, h1)
 	}
 }

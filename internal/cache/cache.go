@@ -21,6 +21,12 @@ type Cache[K comparable, V any] struct {
 	hash   func(K) uint64
 	mask   uint64
 	shards []shard[K, V]
+
+	// Lifetime lookup outcomes across Get and GetOrCreate — the
+	// observability feed for serving metrics. A GetOrCreate that joins an
+	// in-flight create counts as a hit (the work is shared); one whose
+	// create fails counts as a miss only.
+	hits, misses atomic.Int64
 }
 
 // entry is a cache slot. The once/val/err trio gives single-flight
@@ -86,6 +92,11 @@ func (c *Cache[K, V]) GetOrCreate(k K, create func() (V, error)) (V, error) {
 		}
 	}
 	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 
 	e.once.Do(func() {
 		e.val, e.err = create()
@@ -114,9 +125,18 @@ func (c *Cache[K, V]) Get(k K) (V, bool) {
 	s.mu.Unlock()
 	var zero V
 	if !ok || !e.done.Load() || e.err != nil {
+		c.misses.Add(1)
 		return zero, false
 	}
+	c.hits.Add(1)
 	return e.val, true
+}
+
+// Stats reports the lifetime hit and miss counts across Get and
+// GetOrCreate. Purge does not reset them — they are counters, not
+// gauges.
+func (c *Cache[K, V]) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Len reports the number of cached entries across all shards.

@@ -146,3 +146,29 @@ func TestPurge(t *testing.T) {
 		t.Fatal("Get hit after Purge")
 	}
 }
+
+func TestStats(t *testing.T) {
+	c := cache.New[int, string](1, 4, intHash)
+	mk := func() (string, error) { return "v", nil }
+	if _, err := c.GetOrCreate(1, mk); err != nil { // miss
+		t.Fatal(err)
+	}
+	if _, err := c.GetOrCreate(1, mk); err != nil { // hit
+		t.Fatal(err)
+	}
+	c.Get(1)                // hit
+	c.Get(2)                // miss
+	if _, err := c.GetOrCreate(3, func() (string, error) { // miss, not cached
+		return "", errors.New("boom")
+	}); err == nil {
+		t.Fatal("want create error")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 3 {
+		t.Fatalf("Stats = (%d hits, %d misses), want (2, 3)", hits, misses)
+	}
+	c.Purge()
+	if h, m := c.Stats(); h != hits || m != misses {
+		t.Fatal("Purge must not reset stats")
+	}
+}

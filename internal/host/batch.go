@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"codeletfft/internal/fft"
 )
@@ -30,6 +31,20 @@ const (
 	passConj             // unit: one transform's conjugation sweep
 	passConjScale        // unit: one transform's conjugate-and-scale sweep
 )
+
+// passLabel maps a batch pass kind to its Observer label.
+func passLabel(mode int) string {
+	switch mode {
+	case passBitRev:
+		return PassBitRev
+	case passStage:
+		return PassStage
+	case passConj:
+		return PassConj
+	default:
+		return PassScale
+	}
+}
 
 // batchJob carries one pass of one batched call through the worker
 // pool. The same job object is re-armed for every pass of the call and
@@ -135,6 +150,7 @@ func (job *batchJob) run(scratch *sync.Pool) {
 // times per pass: enough granularity to rebalance, not enough to make
 // the cursor contended.
 func (e *Engine) runPass(job *batchJob, mode, stage int, units int64) {
+	t0 := e.passStart()
 	job.mode, job.stage, job.units = mode, stage, units
 	job.chunk = max(units/int64(e.workers*4), 1)
 	job.next.Store(0)
@@ -144,6 +160,7 @@ func (e *Engine) runPass(job *batchJob, mode, stage int, units int64) {
 	}
 	job.run(e.scratch)
 	job.wg.Wait()
+	e.passDone(passLabel(mode), t0)
 }
 
 // checkBatch validates every array up front so a mid-batch panic cannot
@@ -171,12 +188,14 @@ func (e *Engine) TransformBatch(pl *fft.Plan, batch [][]complex128, w []complex1
 	if len(batch) == 0 {
 		return
 	}
+	t0 := e.passStart()
 	if e.workers <= 1 || len(batch)*pl.N < e.threshold {
 		sc := getScratch(e.scratch, pl)
 		for _, d := range batch {
 			pl.TransformWith(d, w, sc)
 		}
 		e.scratch.Put(sc)
+		e.batchDone(len(batch), pl.N, t0)
 		return
 	}
 	e.ensurePool()
@@ -187,6 +206,7 @@ func (e *Engine) TransformBatch(pl *fft.Plan, batch [][]complex128, w []complex1
 		e.runPass(job, passStage, s, int64(len(batch))*int64(pl.TasksPerStage))
 	}
 	e.releaseJob(job)
+	e.batchDone(len(batch), pl.N, t0)
 }
 
 // InverseBatch applies the inverse FFT in place to every array in batch
@@ -198,12 +218,14 @@ func (e *Engine) InverseBatch(pl *fft.Plan, batch [][]complex128, w []complex128
 	if len(batch) == 0 {
 		return
 	}
+	t0 := e.passStart()
 	if e.workers <= 1 || len(batch)*pl.N < e.threshold {
 		sc := getScratch(e.scratch, pl)
 		for _, d := range batch {
 			pl.InverseTransformWith(d, w, sc)
 		}
 		e.scratch.Put(sc)
+		e.batchDone(len(batch), pl.N, t0)
 		return
 	}
 	e.ensurePool()
@@ -217,6 +239,14 @@ func (e *Engine) InverseBatch(pl *fft.Plan, batch [][]complex128, w []complex128
 	job.scale = 1 / float64(pl.N)
 	e.runPass(job, passConjScale, 0, int64(len(batch)))
 	e.releaseJob(job)
+	e.batchDone(len(batch), pl.N, t0)
+}
+
+// batchDone reports one batched dispatch to the observer, if any.
+func (e *Engine) batchDone(batch, n int, start time.Time) {
+	if e.obs != nil {
+		e.obs.ObserveBatch(batch, n, time.Since(start))
+	}
 }
 
 // releaseJob drops the job's references to caller data before pooling

@@ -18,6 +18,7 @@ package host
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"codeletfft/internal/fft"
 )
@@ -28,6 +29,32 @@ import (
 // butterfly work itself.
 const DefaultThreshold = 1 << 13
 
+// Pass labels reported to an Observer. Each is one lockstep pass of a
+// parallel or batched execution — the unit separated by stage barriers.
+const (
+	PassBitRev = "bitrev" // bit-reversal permutation
+	PassStage  = "stage"  // one butterfly stage
+	PassConj   = "conj"   // inverse-path conjugation sweep
+	PassScale  = "scale"  // inverse-path conjugate-and-scale sweep
+)
+
+// Observer receives execution telemetry from an Engine: one
+// ObserveBatch per batched dispatch (occupancy = number of transforms
+// coalesced into it) and one ObservePass per lockstep pass. Methods are
+// called synchronously on the dispatching goroutine and must be cheap
+// and concurrency-safe; implementations backed by atomic instruments
+// (internal/metrics) satisfy both and keep the batch path
+// allocation-free.
+type Observer interface {
+	// ObserveBatch reports one batched call: how many transforms it
+	// coalesced, the transform length, and the wall time of the whole
+	// dispatch.
+	ObserveBatch(batch, n int, d time.Duration)
+	// ObservePass reports one lockstep pass (PassBitRev, PassStage,
+	// PassConj, PassScale) and its wall time.
+	ObservePass(pass string, d time.Duration)
+}
+
 // Config tunes an Engine.
 type Config struct {
 	// Workers is the number of goroutines a parallel pass uses.
@@ -37,6 +64,9 @@ type Config struct {
 	// path engages; smaller transforms run serially. 0 means
 	// DefaultThreshold; 1 forces the parallel path for every size.
 	Threshold int
+	// Observer, when non-nil, receives batch-occupancy and pass-latency
+	// telemetry from every parallel or batched call on the engine.
+	Observer Observer
 }
 
 // Engine executes plans with a pool of worker goroutines. An Engine's
@@ -47,6 +77,7 @@ type Config struct {
 type Engine struct {
 	workers   int
 	threshold int
+	obs       Observer
 
 	// scratch recycles per-worker *fft.Scratch buffers across batch
 	// calls so the steady state allocates nothing. It is a separate
@@ -70,7 +101,7 @@ func New(cfg Config) *Engine {
 	if th <= 0 {
 		th = DefaultThreshold
 	}
-	return &Engine{workers: w, threshold: th, scratch: new(sync.Pool)}
+	return &Engine{workers: w, threshold: th, obs: cfg.Observer, scratch: new(sync.Pool)}
 }
 
 // Workers returns the resolved worker count.
@@ -78,6 +109,22 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Threshold returns the resolved serial-fallback threshold.
 func (e *Engine) Threshold() int { return e.threshold }
+
+// passStart returns the timestamp observed passes measure from; the
+// zero time when no observer is attached, so the hot path pays only a
+// nil check. passDone reports the pass to the observer, if any.
+func (e *Engine) passStart() time.Time {
+	if e.obs == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (e *Engine) passDone(pass string, start time.Time) {
+	if e.obs != nil {
+		e.obs.ObservePass(pass, time.Since(start))
+	}
+}
 
 // parallelFor splits [0,n) into one contiguous chunk per worker and runs
 // fn(worker, lo, hi) for each chunk on its own goroutine, returning after
@@ -143,11 +190,14 @@ func (e *Engine) Transform(pl *fft.Plan, data, w []complex128) {
 		pl.Transform(data, w)
 		return
 	}
+	t0 := e.passStart()
 	e.bitReverse(data, pl.LogN)
+	e.passDone(PassBitRev, t0)
 	// Per-worker scratch, created on first use and reused across stages
 	// (the inter-stage barrier orders the accesses).
 	scratch := make([]*fft.Scratch, e.workers)
 	for stage := 0; stage < pl.NumStages; stage++ {
+		ts := e.passStart()
 		e.parallelFor(pl.TasksPerStage, func(wk, lo, hi int) {
 			sc := scratch[wk]
 			if sc == nil {
@@ -158,6 +208,7 @@ func (e *Engine) Transform(pl *fft.Plan, data, w []complex128) {
 				pl.RunTask(stage, task, data, w, nil, sc)
 			}
 		})
+		e.passDone(PassStage, ts)
 	}
 }
 

@@ -1,0 +1,132 @@
+package host
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"codeletfft/internal/fft"
+)
+
+// recObserver records every callback; safe for concurrent use so it can
+// sit on an engine whose passes run from pool workers.
+type recObserver struct {
+	mu      sync.Mutex
+	batches []int           // occupancy per ObserveBatch
+	passes  map[string]int  // count per pass label
+	zeroDur bool            // any non-positive duration seen
+}
+
+func newRecObserver() *recObserver {
+	return &recObserver{passes: make(map[string]int)}
+}
+
+func (o *recObserver) ObserveBatch(batch, n int, d time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.batches = append(o.batches, batch)
+	if d < 0 {
+		o.zeroDur = true
+	}
+}
+
+func (o *recObserver) ObservePass(pass string, d time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.passes[pass]++
+	if d < 0 {
+		o.zeroDur = true
+	}
+}
+
+func TestObserverBatchAndPasses(t *testing.T) {
+	const n, batchSize = 256, 8
+	pl, err := fft.NewPlan(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := fft.Twiddles(n)
+	obs := newRecObserver()
+	e := New(Config{Workers: 4, Threshold: 1, Observer: obs})
+
+	batch := make([][]complex128, batchSize)
+	for i := range batch {
+		batch[i] = make([]complex128, n)
+		batch[i][1] = 1
+	}
+	e.TransformBatch(pl, batch, w)
+	e.InverseBatch(pl, batch, w)
+
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if len(obs.batches) != 2 {
+		t.Fatalf("ObserveBatch called %d times, want 2", len(obs.batches))
+	}
+	for _, b := range obs.batches {
+		if b != batchSize {
+			t.Errorf("batch occupancy = %d, want %d", b, batchSize)
+		}
+	}
+	// Forward: bitrev + NumStages stage passes. Inverse adds conj,
+	// another bitrev+stages, and the scale pass.
+	if got, want := obs.passes[PassBitRev], 2; got != want {
+		t.Errorf("%s passes = %d, want %d", PassBitRev, got, want)
+	}
+	if got, want := obs.passes[PassStage], 2*pl.NumStages; got != want {
+		t.Errorf("%s passes = %d, want %d", PassStage, got, want)
+	}
+	if obs.passes[PassConj] != 1 || obs.passes[PassScale] != 1 {
+		t.Errorf("conj/scale passes = %d/%d, want 1/1", obs.passes[PassConj], obs.passes[PassScale])
+	}
+	if obs.zeroDur {
+		t.Error("observer saw a negative duration")
+	}
+}
+
+// TestObserverSerialFallback: below the threshold the batch runs
+// serially but occupancy must still be reported — the serving daemon's
+// coalescing proof reads this histogram.
+func TestObserverSerialFallback(t *testing.T) {
+	const n, batchSize = 64, 3
+	pl, err := fft.NewPlan(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := fft.Twiddles(n)
+	obs := newRecObserver()
+	e := New(Config{Workers: 4, Threshold: 1 << 20, Observer: obs})
+	batch := make([][]complex128, batchSize)
+	for i := range batch {
+		batch[i] = make([]complex128, n)
+	}
+	e.TransformBatch(pl, batch, w)
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if len(obs.batches) != 1 || obs.batches[0] != batchSize {
+		t.Fatalf("serial fallback batches = %v, want [%d]", obs.batches, batchSize)
+	}
+}
+
+// TestObserverParallelTransform covers the single-transform parallel
+// path's pass telemetry.
+func TestObserverParallelTransform(t *testing.T) {
+	const n = 1 << 10
+	pl, err := fft.NewPlan(n, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := fft.Twiddles(n)
+	obs := newRecObserver()
+	e := New(Config{Workers: 4, Threshold: 1, Observer: obs})
+	data := make([]complex128, n)
+	data[1] = 1
+	e.Transform(pl, data, w)
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if obs.passes[PassBitRev] != 1 {
+		t.Errorf("bitrev passes = %d, want 1", obs.passes[PassBitRev])
+	}
+	if obs.passes[PassStage] != pl.NumStages {
+		t.Errorf("stage passes = %d, want %d", obs.passes[PassStage], pl.NumStages)
+	}
+}

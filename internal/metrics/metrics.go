@@ -1,0 +1,299 @@
+// Package metrics is a dependency-free instrumentation layer for the
+// serving stack: counters, gauges, and bucketed histograms with exported
+// quantiles, collected in a Registry that renders a plain-text
+// exposition page (mounted at /metrics by the daemon) and publishes the
+// same snapshot through the standard library's expvar, so existing
+// expvar scrapers see it under one variable.
+//
+// Every instrument is safe for concurrent use and the hot-path
+// operations (Add, Set, Observe) are single atomic updates — no locks,
+// no allocation — so they can sit inside the host engine's per-pass
+// loop without showing up in the AllocsPerRun guards.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative to keep the counter monotonic;
+// this is not enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous integer value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets and tracks the exact
+// sum, count, and max, so the exposition can report the mean alongside
+// bucket-interpolated quantiles. The zero value is not usable; build
+// one through Registry.Histogram.
+type Histogram struct {
+	// bounds[i] is the inclusive upper edge of bucket i; observations
+	// above bounds[len-1] land in the overflow bucket counts[len(bounds)].
+	bounds []float64
+	counts []atomic.Int64
+
+	count atomic.Int64
+	sum   atomic.Uint64 // float64 bits, CAS-updated
+	max   atomic.Uint64 // float64 bits of the running maximum (non-negative domain)
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample. Negative samples are clamped to 0 (the
+// instruments here measure durations and sizes).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the exact sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Max returns the largest observation seen (0 before any observation).
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.max.Load()) }
+
+// Mean returns Sum/Count, or 0 before any observation.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the bucket holding the target rank. The estimate is exact at
+// bucket edges and bounded by the bucket width elsewhere; the overflow
+// bucket reports the observed max.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) {
+				return h.Max()
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / c
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.Max()
+}
+
+// ExpBuckets returns n bucket bounds starting at start and growing by
+// factor: start, start·factor, … — the usual latency-histogram shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns n bucket bounds start, start+width, ….
+func LinearBuckets(start, width float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}
+
+// Registry names and collects instruments. All lookups are
+// get-or-create, so packages can resolve the same instrument by name
+// without coordinating initialization order.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() float64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() float64),
+		hists:      make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers fn as the named gauge; the function is evaluated
+// at exposition time. Registering a name twice replaces the function.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every instrument's current value as a flat
+// name→number map. Histograms expand to _count, _sum, _mean, _max, and
+// _p50/_p90/_p99 entries.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+len(r.gaugeFuncs)+7*len(r.hists))
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = float64(g.Value())
+	}
+	for name, fn := range r.gaugeFuncs {
+		out[name] = fn()
+	}
+	for name, h := range r.hists {
+		out[name+"_count"] = float64(h.Count())
+		out[name+"_sum"] = h.Sum()
+		out[name+"_mean"] = h.Mean()
+		out[name+"_max"] = h.Max()
+		out[name+"_p50"] = h.Quantile(0.50)
+		out[name+"_p90"] = h.Quantile(0.90)
+		out[name+"_p99"] = h.Quantile(0.99)
+	}
+	return out
+}
+
+// WriteText renders the snapshot as sorted "name value" lines — the
+// /metrics exposition format.
+func (r *Registry) WriteText(w *strings.Builder) {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %v\n", name, snap[name])
+	}
+}
+
+// Handler returns an http.Handler serving the text exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		r.WriteText(&b)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+// Publish exposes the registry's snapshot as one expvar variable, so
+// the standard /debug/vars page (and any expvar scraper) carries the
+// same numbers as /metrics. expvar panics on duplicate names, so
+// Publish must be called at most once per name per process.
+func (r *Registry) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

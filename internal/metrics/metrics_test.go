@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("reqs") != c {
+		t.Fatal("Counter not idempotent by name")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramStatsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", LinearBuckets(1, 1, 100))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 5050.0; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	if got, want := h.Mean(), 50.5; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	if got := h.Max(); got != 100 {
+		t.Fatalf("max = %v, want 100", got)
+	}
+	// With unit buckets holding one sample each, the interpolated
+	// quantiles are within one bucket width of the exact order statistic.
+	for _, tc := range []struct{ q, want float64 }{{0.5, 50}, {0.9, 90}, {0.99, 99}, {1, 100}} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1 {
+			t.Errorf("q%v = %v, want ≈%v", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Quantile(0); got > 1 {
+		t.Errorf("q0 = %v, want ≤1", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("big", []float64{1, 2})
+	h.Observe(50)
+	if got := h.Quantile(0.99); got != 50 {
+		t.Fatalf("overflow quantile = %v, want the max 50", got)
+	}
+	h.Observe(-3) // clamped to 0
+	if got := h.Sum(); got != 50 {
+		t.Fatalf("sum = %v, want 50", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 10, 4)
+	want := []float64{1e-6, 1e-5, 1e-4, 1e-3}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > want[i]*1e-12 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b_depth").Set(2)
+	r.GaugeFunc("c_fn", func() float64 { return 1.5 })
+	r.Histogram("h", LinearBuckets(1, 1, 4)).Observe(2)
+
+	snap := r.Snapshot()
+	for _, k := range []string{"a_total", "b_depth", "c_fn", "h_count", "h_sum", "h_mean", "h_max", "h_p50", "h_p90", "h_p99"} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("snapshot missing %q", k)
+		}
+	}
+	if snap["a_total"] != 3 || snap["c_fn"] != 1.5 || snap["h_count"] != 1 {
+		t.Fatalf("snapshot values wrong: %v", snap)
+	}
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "a_total 3\n") || !strings.Contains(body, "h_count 1\n") {
+		t.Fatalf("text exposition missing lines:\n%s", body)
+	}
+	// Lines are sorted.
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] >= lines[i] {
+			t.Fatalf("exposition not sorted: %q before %q", lines[i-1], lines[i])
+		}
+	}
+}
+
+// TestConcurrent hammers one instrument of each kind from many
+// goroutines; meaningful under -race, and checks the exact totals
+// (atomic sum must not lose updates).
+func TestConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", ExpBuckets(1, 2, 10))
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(3)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", g.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker || h.Sum() != 3*workers*perWorker {
+		t.Fatalf("hist count=%d sum=%v", h.Count(), h.Sum())
+	}
+}

@@ -1,0 +1,161 @@
+// Micro-batch coalescing: one batcher per (length, kind) shape gathers
+// admitted requests for up to the batch window — or until MaxBatch —
+// then hands the whole group to a panic-isolated executor goroutine
+// that resolves the shape's cached plan once and runs a single
+// TransformBatch/InverseBatch dispatch (per-request real-path calls for
+// the real kinds). The executor answers every request's done channel
+// and releases its admission token, so queue accounting survives
+// deadlines, panics, and drain.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"codeletfft"
+)
+
+type batcher struct {
+	s   *Server
+	key batchKey
+
+	mu      sync.Mutex
+	pending []*pending
+	timer   *time.Timer
+}
+
+// add enqueues one admitted request and decides when its batch flushes:
+// immediately on MaxBatch, a disabled window, or drain; otherwise the
+// first request of a batch arms the window timer.
+func (b *batcher) add(p *pending) {
+	b.mu.Lock()
+	b.pending = append(b.pending, p)
+	n := len(b.pending)
+	if n >= b.s.cfg.MaxBatch || b.s.cfg.BatchWindow < 0 || b.s.draining.Load() {
+		reqs := b.takeLocked()
+		b.mu.Unlock()
+		b.s.dispatch(b.key, reqs)
+		return
+	}
+	if n == 1 {
+		if b.timer == nil {
+			b.timer = time.AfterFunc(b.s.cfg.BatchWindow, b.flush)
+		} else {
+			b.timer.Reset(b.s.cfg.BatchWindow)
+		}
+	}
+	b.mu.Unlock()
+}
+
+// takeLocked claims the pending slice and disarms the window timer.
+// Called with b.mu held.
+func (b *batcher) takeLocked() []*pending {
+	reqs := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	return reqs
+}
+
+// flush dispatches whatever is pending; the window-timer callback and
+// the drain sweep both land here, and racing flushes are harmless (the
+// loser finds nothing pending).
+func (b *batcher) flush() {
+	b.mu.Lock()
+	reqs := b.takeLocked()
+	b.mu.Unlock()
+	if len(reqs) > 0 {
+		b.s.dispatch(b.key, reqs)
+	}
+}
+
+// dispatch hands one batch to its executor goroutine.
+func (s *Server) dispatch(key batchKey, reqs []*pending) {
+	go s.execute(key, reqs)
+}
+
+// execute answers one batch: drop requests that expired while queued,
+// run the live ones through the shape's plan, deliver results, release
+// admission tokens. The token release is deferred last so that an empty
+// queue (Drain's completion test) implies every request was answered.
+func (s *Server) execute(key batchKey, reqs []*pending) {
+	defer func() {
+		for range reqs {
+			<-s.sem
+		}
+	}()
+
+	live := make([]*pending, 0, len(reqs))
+	for _, p := range reqs {
+		if p.ctx.Err() != nil {
+			s.m.expired.Inc()
+			p.done <- context.DeadlineExceeded
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	start := time.Now()
+	err := s.runBatch(key, live)
+	s.m.batches.Inc()
+	s.m.occupancy.Observe(float64(len(live)))
+	s.m.batchSec.Observe(time.Since(start).Seconds())
+	for _, p := range live {
+		p.done <- err
+	}
+}
+
+// runBatch resolves the shape's cached plan and applies the transform
+// to every live request. A panic anywhere inside (the isolation
+// boundary for the worker) is converted to an error answered to the
+// whole batch; the server keeps serving.
+func (s *Server) runBatch(key batchKey, live []*pending) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.panics.Inc()
+			err = fmt.Errorf("transform panic: %v", r)
+		}
+	}()
+	if s.execHook != nil {
+		s.execHook(key, len(live))
+	}
+	plan, err := codeletfft.CachedHostPlan(key.n, s.planOpts...)
+	if err != nil {
+		return err
+	}
+	switch key.kind {
+	case KindForward, KindInverse:
+		batch := make([][]complex128, len(live))
+		for i, p := range live {
+			batch[i] = p.data
+		}
+		if key.kind == KindForward {
+			plan.TransformBatch(batch)
+		} else {
+			plan.InverseBatch(batch)
+		}
+	case KindReal:
+		for _, p := range live {
+			if err := plan.ParallelRealTransform(p.spec, p.realIn); err != nil {
+				return err
+			}
+		}
+	case KindRealInverse:
+		for _, p := range live {
+			if err := plan.ParallelRealInverse(p.realOut, p.data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// readAll is io.ReadAll, split out so the handler reads as one line.
+func readAll(r io.Reader) ([]byte, error) { return io.ReadAll(r) }

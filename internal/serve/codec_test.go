@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, f := range []Frame{
+		{Kind: KindForward, Complex: []complex128{1 + 2i, -3.5 + 0.25i}},
+		{Kind: KindInverse, Complex: []complex128{complex(math.Inf(1), math.NaN())}},
+		{Kind: KindReal, Real: []float64{0, 1, -1, 0.5}},
+		{Kind: KindRealInverse, Complex: []complex128{1, 2, 3}},
+		{Kind: KindForward, Complex: []complex128{}},
+		{Kind: KindReal, Real: []float64{}},
+	} {
+		enc, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("encode %v: %v", f.Kind, err)
+		}
+		dec, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", f.Kind, err)
+		}
+		if dec.Kind != f.Kind {
+			t.Fatalf("kind %v -> %v", f.Kind, dec.Kind)
+		}
+		re, err := EncodeFrame(dec)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("re-encode of %v not canonical", f.Kind)
+		}
+	}
+}
+
+func TestFrameRejectsMalformed(t *testing.T) {
+	good, err := EncodeFrame(Frame{Kind: KindForward, Complex: []complex128{1, 2i}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": good[:headerLen-1],
+		"truncated by one byte":  good[:len(good)-1],
+		"truncated half payload": good[:headerLen+8],
+		"one trailing byte":      append(append([]byte(nil), good...), 0),
+	}
+	bad := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		return b
+	}
+	cases["bad magic"] = bad(func(b []byte) { b[0] = 'X' })
+	cases["bad version"] = bad(func(b []byte) { b[4] = 9 })
+	cases["bad kind"] = bad(func(b []byte) { b[5] = byte(kindCount) })
+	cases["bad elem"] = bad(func(b []byte) { b[6] = 7 })
+	cases["reserved set"] = bad(func(b []byte) { b[7] = 1 })
+	cases["count lies high"] = bad(func(b []byte) { b[8] = 3 })
+	cases["count lies low"] = bad(func(b []byte) { b[8] = 1 })
+	for name, b := range cases {
+		if _, err := DecodeFrame(b); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: error = %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+func TestFrameCountLimit(t *testing.T) {
+	// A header that promises MaxFrameElems+1 elements must be rejected
+	// before any payload-sized allocation.
+	b := append([]byte(frameMagic), frameVersion, byte(KindForward), elemComplex, 0)
+	n := uint32(MaxFrameElems + 1)
+	b = append(b, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	if _, err := DecodeFrame(b); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized count: error = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestEncodeRejectsAmbiguousPayload(t *testing.T) {
+	for _, f := range []Frame{
+		{Kind: KindForward},
+		{Kind: KindForward, Complex: []complex128{1}, Real: []float64{1}},
+		{Kind: kindCount, Complex: []complex128{1}},
+	} {
+		if _, err := EncodeFrame(f); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("EncodeFrame(%+v): error = %v, want ErrBadFrame", f, err)
+		}
+	}
+}
+
+// FuzzServeCodec pins the decoder's two contracts: arbitrary bytes
+// never panic, and any frame that decodes re-encodes to the identical
+// bytes (so truncated or padded frames can never round-trip quietly).
+func FuzzServeCodec(f *testing.F) {
+	seed1, _ := EncodeFrame(Frame{Kind: KindForward, Complex: []complex128{1 + 2i, 3 - 4i}})
+	seed2, _ := EncodeFrame(Frame{Kind: KindReal, Real: []float64{0.5, -0.25, 1, 0}})
+	seed3, _ := EncodeFrame(Frame{Kind: KindRealInverse, Complex: []complex128{1, 2, 3}})
+	f.Add(seed1)
+	f.Add(seed2)
+	f.Add(seed3)
+	f.Add(seed1[:len(seed1)-3]) // truncated
+	f.Add([]byte("FFB1"))       // header fragment
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := DecodeFrame(b)
+		if err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("decode error %v does not wrap ErrBadFrame", err)
+			}
+			return
+		}
+		enc, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("decoded frame failed to encode: %v", err)
+		}
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("round trip not canonical:\n in  %x\n out %x", b, enc)
+		}
+		// A valid frame must stop being valid when truncated.
+		if len(b) > headerLen {
+			if _, err := DecodeFrame(b[:len(b)-1]); err == nil {
+				t.Fatal("truncated frame decoded successfully")
+			}
+		}
+	})
+}

@@ -1,0 +1,634 @@
+// Package serve is the HTTP serving layer of the FFT daemon
+// (cmd/fftserved): it accepts transform requests over JSON or the
+// compact binary codec, coalesces same-shape requests inside a
+// micro-batching window into one TransformBatch dispatch against the
+// process-wide plan cache, and wraps the whole path in production
+// controls — per-request deadlines, admission control with a bounded
+// queue and explicit 429/503 shedding, panic-isolated batch executors,
+// and graceful drain — with every stage instrumented through
+// internal/metrics.
+//
+// Endpoints:
+//
+//	POST /fft      JSON request  {"kind","re","im"} → {"n","re","im"}
+//	POST /fft/bin  binary Frame (codec.go) → binary Frame
+//	GET  /metrics  plain-text instrument exposition
+//	GET  /healthz  "ok", or 503 once draining
+//
+// Shedding semantics: a request that arrives while the server drains is
+// refused with 503 before any work happens; one that finds the
+// admission queue full is refused with 429; one whose deadline expires
+// while queued or batched is answered 504 and skipped by the executor
+// (its slot still counts against the queue until the batch completes).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/bits"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"codeletfft"
+	"codeletfft/internal/metrics"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	DefaultMinN           = 8
+	DefaultMaxN           = 1 << 22
+	DefaultBatchWindow    = 2 * time.Millisecond
+	DefaultMaxBatch       = 64
+	DefaultQueueLimit     = 1024
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultMaxTimeout     = time.Minute
+)
+
+// Config tunes a Server. The zero value of every field selects the
+// package default.
+type Config struct {
+	// MinN and MaxN bound the accepted transform length (both powers of
+	// two, inclusive).
+	MinN, MaxN int
+	// BatchWindow is how long the first request of a shape waits for
+	// same-shape company before its batch flushes. Negative disables
+	// coalescing (every request flushes immediately); 0 means
+	// DefaultBatchWindow.
+	BatchWindow time.Duration
+	// MaxBatch flushes a shape's batch as soon as it reaches this many
+	// requests, without waiting out the window.
+	MaxBatch int
+	// QueueLimit bounds the number of admitted-but-unfinished requests
+	// across all shapes; beyond it requests are shed with 429.
+	QueueLimit int
+	// RequestTimeout is the per-request deadline when the client sends
+	// none; MaxTimeout caps what a client may ask for via ?timeout=.
+	RequestTimeout, MaxTimeout time.Duration
+	// Workers and TaskSize configure the plans the executor resolves
+	// (0 means the engine defaults: GOMAXPROCS workers, 64-point tasks).
+	Workers, TaskSize int
+	// Registry collects the server's instruments; New creates one when
+	// nil. The daemon publishes it at /metrics and through expvar.
+	Registry *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinN <= 0 {
+		c.MinN = DefaultMinN
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = DefaultMaxN
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = DefaultBatchWindow
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = DefaultQueueLimit
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = DefaultMaxTimeout
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	return c
+}
+
+// batchKey identifies a coalescible shape: requests batch together only
+// when both the transform length and the kind match.
+type batchKey struct {
+	n    int
+	kind Kind
+}
+
+// pending is one admitted request waiting for (or inside) a batch.
+type pending struct {
+	ctx     context.Context
+	done    chan error // buffered; receives exactly one result
+	data    []complex128
+	realIn  []float64
+	spec    []complex128 // KindReal output (N/2+1 bins)
+	realOut []float64    // KindRealInverse output (N samples)
+}
+
+// serverMetrics names every instrument once, so handler code reads like
+// the exposition page.
+type serverMetrics struct {
+	requests  *metrics.Counter
+	ok        *metrics.Counter
+	bad       *metrics.Counter
+	shedQueue *metrics.Counter
+	shedDrain *metrics.Counter
+	deadline  *metrics.Counter
+	internal  *metrics.Counter
+	expired   *metrics.Counter
+	panics    *metrics.Counter
+	batches   *metrics.Counter
+
+	occupancy  *metrics.Histogram
+	batchSec   *metrics.Histogram
+	requestSec *metrics.Histogram
+}
+
+func newServerMetrics(r *metrics.Registry) serverMetrics {
+	latency := metrics.ExpBuckets(1e-5, 2, 22) // 10µs … ~40s
+	return serverMetrics{
+		requests:   r.Counter("fft_requests_total"),
+		ok:         r.Counter("fft_responses_ok_total"),
+		bad:        r.Counter("fft_responses_bad_request_total"),
+		shedQueue:  r.Counter("fft_responses_shed_queue_total"),
+		shedDrain:  r.Counter("fft_responses_shed_drain_total"),
+		deadline:   r.Counter("fft_responses_deadline_total"),
+		internal:   r.Counter("fft_responses_error_total"),
+		expired:    r.Counter("fft_expired_in_queue_total"),
+		panics:     r.Counter("fft_panics_total"),
+		batches:    r.Counter("fft_batches_total"),
+		occupancy:  r.Histogram("fft_batch_occupancy", metrics.ExpBuckets(1, 2, 11)), // 1 … 1024
+		batchSec:   r.Histogram("fft_batch_seconds", latency),
+		requestSec: r.Histogram("fft_request_seconds", latency),
+	}
+}
+
+// engineObserver adapts the host engine's telemetry callbacks onto
+// histogram instruments; it is installed on every plan the executor
+// resolves, so batch occupancy and per-pass latency are measured by the
+// engine itself rather than re-derived by the daemon. The pass map is
+// read-only after construction, so the callbacks are lock-free.
+type engineObserver struct {
+	occupancy *metrics.Histogram
+	batchSec  *metrics.Histogram
+	passSec   map[string]*metrics.Histogram
+}
+
+func newEngineObserver(r *metrics.Registry) *engineObserver {
+	latency := metrics.ExpBuckets(1e-6, 2, 24) // 1µs … ~16s
+	passes := make(map[string]*metrics.Histogram, 4)
+	for _, p := range []string{"bitrev", "stage", "conj", "scale"} {
+		passes[p] = r.Histogram("engine_pass_"+p+"_seconds", latency)
+	}
+	return &engineObserver{
+		occupancy: r.Histogram("engine_batch_occupancy", metrics.ExpBuckets(1, 2, 11)),
+		batchSec:  r.Histogram("engine_batch_seconds", latency),
+		passSec:   passes,
+	}
+}
+
+func (o *engineObserver) ObserveBatch(batch, n int, d time.Duration) {
+	o.occupancy.Observe(float64(batch))
+	o.batchSec.Observe(d.Seconds())
+}
+
+func (o *engineObserver) ObservePass(pass string, d time.Duration) {
+	if h, ok := o.passSec[pass]; ok {
+		h.Observe(d.Seconds())
+	}
+}
+
+// Server coalesces and executes FFT requests. Build with New, mount
+// Handler, and call Drain on shutdown.
+type Server struct {
+	cfg Config
+	reg *metrics.Registry
+	m   serverMetrics
+	mux *http.ServeMux
+
+	planOpts []codeletfft.HostOption
+
+	// sem holds one token per admitted-but-unfinished request; a full
+	// channel is the 429 condition and len(sem) is the queue-depth gauge.
+	sem chan struct{}
+
+	draining atomic.Bool
+
+	mu       sync.Mutex
+	batchers map[batchKey]*batcher
+
+	// execHook, when non-nil, runs inside the panic-isolated executor
+	// just before the transform — the test seam for panic isolation.
+	execHook func(key batchKey, live int)
+
+	maxBody int64
+}
+
+// New builds a Server from cfg (zero fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		m:        newServerMetrics(cfg.Registry),
+		sem:      make(chan struct{}, cfg.QueueLimit),
+		batchers: make(map[batchKey]*batcher),
+		// JSON spells a float64 in ~25 bytes; 64·MaxN covers the worst
+		// re+im request with headroom, and the binary frame is smaller.
+		maxBody: int64(cfg.MaxN)*64 + 4096,
+	}
+	obs := newEngineObserver(cfg.Registry)
+	s.planOpts = []codeletfft.HostOption{codeletfft.WithObserver(obs)}
+	if cfg.Workers > 0 {
+		s.planOpts = append(s.planOpts, codeletfft.WithWorkers(cfg.Workers))
+	}
+	if cfg.TaskSize > 0 {
+		s.planOpts = append(s.planOpts, codeletfft.WithTaskSize(cfg.TaskSize))
+	}
+	cfg.Registry.GaugeFunc("fft_queue_depth", func() float64 { return float64(len(s.sem)) })
+	cfg.Registry.GaugeFunc("plan_cache_len", func() float64 { return float64(codeletfft.PlanCacheLen()) })
+	cfg.Registry.GaugeFunc("plan_cache_hits_total", func() float64 {
+		h, _ := codeletfft.PlanCacheStats()
+		return float64(h)
+	})
+	cfg.Registry.GaugeFunc("plan_cache_misses_total", func() float64 {
+		_, m := codeletfft.PlanCacheStats()
+		return float64(m)
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fft", s.handleJSON)
+	mux.HandleFunc("POST /fft/bin", s.handleBinary)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// StartDrain flips the server into draining mode: subsequent requests
+// are refused with 503 and every pending batch is flushed immediately
+// instead of waiting out its window. Idempotent.
+func (s *Server) StartDrain() {
+	if s.draining.Swap(true) {
+		return
+	}
+	s.flushAll()
+}
+
+func (s *Server) flushAll() {
+	s.mu.Lock()
+	bs := make([]*batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		bs = append(bs, b)
+	}
+	s.mu.Unlock()
+	for _, b := range bs {
+		b.flush()
+	}
+}
+
+// Drain initiates drain (if not already started) and blocks until every
+// admitted request has been answered or ctx expires. Combined with
+// http.Server.Shutdown it gives SIGTERM semantics: stop accepting,
+// finish everything in flight, exit.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		// Tokens are released by the executor after it answers each
+		// request, so an empty queue means nothing is in flight. The
+		// flush sweep catches requests that raced past the draining check
+		// into a fresh batch window.
+		s.flushAll()
+		if len(s.sem) == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// errShapeRejected tags client errors found before any work happens.
+type shapeError struct{ msg string }
+
+func (e *shapeError) Error() string { return e.msg }
+
+func shapeErrorf(format string, args ...any) error {
+	return &shapeError{msg: fmt.Sprintf(format, args...)}
+}
+
+// checkN validates a transform length against the server's bounds.
+func (s *Server) checkN(n int, kind Kind) error {
+	if n < 2 || bits.OnesCount(uint(n)) != 1 {
+		return shapeErrorf("transform length %d is not a power of two", n)
+	}
+	if n < s.cfg.MinN || n > s.cfg.MaxN {
+		return shapeErrorf("transform length %d outside served range [%d, %d]", n, s.cfg.MinN, s.cfg.MaxN)
+	}
+	if (kind == KindReal || kind == KindRealInverse) && n < 4 {
+		return shapeErrorf("real transforms need length ≥ 4, got %d", n)
+	}
+	return nil
+}
+
+// deadlineFor resolves the request's deadline: ?timeout= if present
+// (capped at MaxTimeout), the server default otherwise.
+func (s *Server) deadlineFor(r *http.Request) (time.Duration, error) {
+	q := r.URL.Query().Get("timeout")
+	if q == "" {
+		return s.cfg.RequestTimeout, nil
+	}
+	d, err := time.ParseDuration(q)
+	if err != nil || d <= 0 {
+		return 0, shapeErrorf("bad timeout %q", q)
+	}
+	return min(d, s.cfg.MaxTimeout), nil
+}
+
+// submit runs the admission + coalescing + wait pipeline shared by both
+// codecs. It returns nil once the transform has been applied to the
+// pending's buffers; any non-nil return has already been counted and
+// converted to a status by respondError.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, key batchKey, p *pending) bool {
+	if s.draining.Load() {
+		s.m.shedDrain.Inc()
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return false
+	}
+	d, err := s.deadlineFor(r)
+	if err != nil {
+		s.m.bad.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	p.ctx = ctx
+
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.m.shedQueue.Inc()
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return false
+	}
+	s.batcherFor(key).add(p)
+
+	select {
+	case err := <-p.done:
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				s.m.deadline.Inc()
+				http.Error(w, "deadline exceeded in queue", http.StatusGatewayTimeout)
+			} else {
+				s.m.internal.Inc()
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return false
+		}
+		return true
+	case <-ctx.Done():
+		// The executor will still answer p.done (buffered) and release
+		// the queue slot; the client just stops waiting.
+		s.m.deadline.Inc()
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+		return false
+	}
+}
+
+func (s *Server) batcherFor(key batchKey) *batcher {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batchers[key]
+	if !ok {
+		b = &batcher{s: s, key: key}
+		s.batchers[key] = b
+	}
+	return b
+}
+
+// jsonRequest is the JSON wire format. Re is the payload (samples for
+// complex/real kinds, spectrum-real-parts for real-inverse); Im, when
+// present, must match its length.
+type jsonRequest struct {
+	Kind string    `json:"kind"`
+	Re   []float64 `json:"re"`
+	Im   []float64 `json:"im"`
+}
+
+type jsonResponse struct {
+	N  int       `json:"n"`
+	Re []float64 `json:"re"`
+	Im []float64 `json:"im,omitempty"`
+}
+
+func parseKind(k string) (Kind, error) {
+	switch k {
+	case "", "forward":
+		return KindForward, nil
+	case "inverse":
+		return KindInverse, nil
+	case "real":
+		return KindReal, nil
+	case "real-inverse":
+		return KindRealInverse, nil
+	default:
+		return 0, shapeErrorf("unknown kind %q", k)
+	}
+}
+
+func (s *Server) handleJSON(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.m.requests.Inc()
+	defer func() { s.m.requestSec.Observe(time.Since(start).Seconds()) }()
+
+	var req jsonRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.m.bad.Inc()
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	kind, err := parseKind(req.Kind)
+	if err == nil && len(req.Im) > 0 && len(req.Im) != len(req.Re) {
+		err = shapeErrorf("im has %d values, re has %d", len(req.Im), len(req.Re))
+	}
+	if err == nil && kind == KindReal && len(req.Im) > 0 {
+		err = shapeErrorf("kind real takes no im values")
+	}
+	if err != nil {
+		s.m.bad.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	p := &pending{done: make(chan error, 1)}
+	var key batchKey
+	switch kind {
+	case KindForward, KindInverse:
+		key = batchKey{n: len(req.Re), kind: kind}
+		if err := s.checkN(key.n, kind); err != nil {
+			s.m.bad.Inc()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p.data = make([]complex128, key.n)
+		for i, re := range req.Re {
+			if len(req.Im) > 0 {
+				p.data[i] = complex(re, req.Im[i])
+			} else {
+				p.data[i] = complex(re, 0)
+			}
+		}
+	case KindReal:
+		key = batchKey{n: len(req.Re), kind: kind}
+		if err := s.checkN(key.n, kind); err != nil {
+			s.m.bad.Inc()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p.realIn = append([]float64(nil), req.Re...)
+		p.spec = make([]complex128, key.n/2+1)
+	case KindRealInverse:
+		n := 2 * (len(req.Re) - 1)
+		key = batchKey{n: n, kind: kind}
+		if err := s.checkN(n, kind); err != nil {
+			s.m.bad.Inc()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p.data = make([]complex128, len(req.Re))
+		for i, re := range req.Re {
+			if len(req.Im) > 0 {
+				p.data[i] = complex(re, req.Im[i])
+			} else {
+				p.data[i] = complex(re, 0)
+			}
+		}
+		p.realOut = make([]float64, n)
+	}
+
+	if !s.submit(w, r, key, p) {
+		return
+	}
+	s.m.ok.Inc()
+	resp := jsonResponse{N: key.n}
+	switch kind {
+	case KindForward, KindInverse:
+		resp.Re, resp.Im = splitComplex(p.data)
+	case KindReal:
+		resp.Re, resp.Im = splitComplex(p.spec)
+	case KindRealInverse:
+		resp.Re = p.realOut
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		return // client went away; the request itself succeeded
+	}
+}
+
+func splitComplex(c []complex128) (re, im []float64) {
+	re = make([]float64, len(c))
+	im = make([]float64, len(c))
+	for i, v := range c {
+		re[i], im[i] = real(v), imag(v)
+	}
+	return re, im
+}
+
+func (s *Server) handleBinary(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.m.requests.Inc()
+	defer func() { s.m.requestSec.Observe(time.Since(start).Seconds()) }()
+
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	raw, err := readAll(body)
+	if err != nil {
+		s.m.bad.Inc()
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	f, err := DecodeFrame(raw)
+	if err != nil {
+		s.m.bad.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	p := &pending{done: make(chan error, 1)}
+	var key batchKey
+	var shapeErr error
+	switch f.Kind {
+	case KindForward, KindInverse:
+		if f.Complex == nil {
+			shapeErr = shapeErrorf("kind %s takes a complex payload", f.Kind)
+			break
+		}
+		key = batchKey{n: len(f.Complex), kind: f.Kind}
+		if shapeErr = s.checkN(key.n, f.Kind); shapeErr == nil {
+			p.data = f.Complex
+		}
+	case KindReal:
+		if f.Real == nil {
+			shapeErr = shapeErrorf("kind real takes a real payload")
+			break
+		}
+		key = batchKey{n: len(f.Real), kind: f.Kind}
+		if shapeErr = s.checkN(key.n, f.Kind); shapeErr == nil {
+			p.realIn = f.Real
+			p.spec = make([]complex128, key.n/2+1)
+		}
+	case KindRealInverse:
+		if f.Complex == nil {
+			shapeErr = shapeErrorf("kind real-inverse takes a complex payload")
+			break
+		}
+		n := 2 * (len(f.Complex) - 1)
+		key = batchKey{n: n, kind: f.Kind}
+		if shapeErr = s.checkN(n, f.Kind); shapeErr == nil {
+			p.data = f.Complex
+			p.realOut = make([]float64, n)
+		}
+	}
+	if shapeErr != nil {
+		s.m.bad.Inc()
+		http.Error(w, shapeErr.Error(), http.StatusBadRequest)
+		return
+	}
+
+	if !s.submit(w, r, key, p) {
+		return
+	}
+	s.m.ok.Inc()
+	out := Frame{Kind: f.Kind}
+	switch f.Kind {
+	case KindForward, KindInverse:
+		out.Complex = p.data
+	case KindReal:
+		out.Complex = p.spec
+	case KindRealInverse:
+		out.Real = p.realOut
+	}
+	enc, err := EncodeFrame(out)
+	if err != nil {
+		s.m.internal.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(enc)
+}

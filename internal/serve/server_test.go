@@ -1,0 +1,478 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain after test: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, req jsonRequest) (*http.Response, jsonResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/fft", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out jsonResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp, out
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestJSONForwardImpulse(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchWindow: -1})
+	re := make([]float64, 64)
+	re[0] = 1 // FFT of the impulse is all ones
+	resp, out := postJSON(t, ts.URL, jsonRequest{Kind: "forward", Re: re})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.N != 64 || len(out.Re) != 64 {
+		t.Fatalf("response shape n=%d len=%d", out.N, len(out.Re))
+	}
+	for i := range out.Re {
+		if math.Abs(out.Re[i]-1) > 1e-12 || math.Abs(out.Im[i]) > 1e-12 {
+			t.Fatalf("bin %d = %v+%vi, want 1+0i", i, out.Re[i], out.Im[i])
+		}
+	}
+}
+
+func TestJSONRealRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchWindow: -1})
+	const n = 128
+	re := make([]float64, n)
+	for i := range re {
+		re[i] = math.Cos(2 * math.Pi * 5 * float64(i) / n)
+	}
+	resp, spec := postJSON(t, ts.URL, jsonRequest{Kind: "real", Re: re})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("real: status = %d", resp.StatusCode)
+	}
+	if len(spec.Re) != n/2+1 {
+		t.Fatalf("spectrum has %d bins, want %d", len(spec.Re), n/2+1)
+	}
+	// The cosine concentrates in bin 5 with weight n/2.
+	if math.Abs(spec.Re[5]-n/2) > 1e-9 {
+		t.Fatalf("bin 5 = %v, want %v", spec.Re[5], n/2)
+	}
+	resp, back := postJSON(t, ts.URL, jsonRequest{Kind: "real-inverse", Re: spec.Re, Im: spec.Im})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("real-inverse: status = %d", resp.StatusCode)
+	}
+	if len(back.Re) != n {
+		t.Fatalf("recovered %d samples, want %d", len(back.Re), n)
+	}
+	for i := range re {
+		if math.Abs(back.Re[i]-re[i]) > 1e-9 {
+			t.Fatalf("sample %d = %v, want %v", i, back.Re[i], re[i])
+		}
+	}
+}
+
+func TestBinaryForwardInverseRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchWindow: -1})
+	const n = 256
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = complex(math.Sin(float64(i)), math.Cos(float64(3*i)))
+	}
+	post := func(f Frame) Frame {
+		t.Helper()
+		enc, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/fft/bin", "application/octet-stream", bytes.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		raw, err := readAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecodeFrame(raw)
+		if err != nil {
+			t.Fatalf("decoding response frame: %v", err)
+		}
+		return out
+	}
+	fwd := post(Frame{Kind: KindForward, Complex: in})
+	if fwd.Kind != KindForward || len(fwd.Complex) != n {
+		t.Fatalf("forward frame kind=%v len=%d", fwd.Kind, len(fwd.Complex))
+	}
+	back := post(Frame{Kind: KindInverse, Complex: fwd.Complex})
+	for i := range in {
+		d := back.Complex[i] - in[i]
+		if math.Hypot(real(d), imag(d)) > 1e-9 {
+			t.Fatalf("sample %d drifted by %v", i, d)
+		}
+	}
+}
+
+// TestCoalescing proves the batch window actually merges concurrent
+// same-shape requests into one TransformBatch dispatch: with a wide
+// window, k concurrent requests must produce strictly fewer batches
+// than requests and a mean occupancy above 1.
+func TestCoalescing(t *testing.T) {
+	s, ts := newTestServer(t, Config{BatchWindow: 150 * time.Millisecond, MaxBatch: 64})
+	const k = 8
+	re := make([]float64, 512)
+	re[0] = 1
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			body, _ := json.Marshal(jsonRequest{Kind: "forward", Re: re})
+			resp, err := http.Post(ts.URL+"/fft", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	batches := s.m.batches.Value()
+	if batches >= k {
+		t.Fatalf("batches = %d for %d requests — no coalescing", batches, k)
+	}
+	if mean := s.m.occupancy.Mean(); mean <= 1 {
+		t.Fatalf("mean occupancy = %v, want > 1", mean)
+	}
+	t.Logf("%d requests coalesced into %d batches (mean occupancy %.1f)", k, batches, s.m.occupancy.Mean())
+}
+
+func TestDeadlineExpiryReturns504(t *testing.T) {
+	s, ts := newTestServer(t, Config{BatchWindow: 200 * time.Millisecond})
+	re := make([]float64, 64)
+	body, _ := json.Marshal(jsonRequest{Kind: "forward", Re: re})
+	resp, err := http.Post(ts.URL+"/fft?timeout=1ms", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	if s.m.deadline.Value() == 0 {
+		t.Fatal("deadline counter not incremented")
+	}
+	// When the window finally flushes, the executor must skip the
+	// expired request and release its queue slot.
+	waitFor(t, "expired request to be reaped", func() bool {
+		return s.m.expired.Value() == 1 && len(s.sem) == 0
+	})
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueLimit: 2, BatchWindow: time.Second, MaxBatch: 64})
+	re := make([]float64, 64)
+	body, _ := json.Marshal(jsonRequest{Kind: "forward", Re: re})
+	// Two requests park in the batch window and fill the queue.
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/fft", "application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	waitFor(t, "queue to fill", func() bool { return len(s.sem) == 2 })
+	resp, err := http.Post(ts.URL+"/fft", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if s.m.shedQueue.Value() != 1 {
+		t.Fatalf("shed counter = %d, want 1", s.m.shedQueue.Value())
+	}
+	// Unblock the parked requests so cleanup's Drain returns quickly.
+	s.StartDrain()
+}
+
+// TestDrain is the SIGTERM story minus the signal: requests parked in a
+// long batch window must complete (not drop) once drain starts, and new
+// requests must shed with 503.
+func TestDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{BatchWindow: 10 * time.Second, MaxBatch: 64})
+	const k = 3
+	re := make([]float64, 128)
+	re[0] = 1
+	codes := make(chan int, k)
+	for i := 0; i < k; i++ {
+		go func() {
+			body, _ := json.Marshal(jsonRequest{Kind: "forward", Re: re})
+			resp, err := http.Post(ts.URL+"/fft", "application/json", bytes.NewReader(body))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	waitFor(t, "requests to park in the window", func() bool { return len(s.sem) == k })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i := 0; i < k; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("in-flight request got %d during drain, want 200", code)
+		}
+	}
+
+	body, _ := json.Marshal(jsonRequest{Kind: "forward", Re: re})
+	resp, err := http.Post(ts.URL+"/fft", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain status = %d, want 503", resp.StatusCode)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", hresp.StatusCode)
+	}
+}
+
+// TestPanicIsolation: a panic inside one batch's executor answers that
+// batch with 500 and leaves the server serving.
+func TestPanicIsolation(t *testing.T) {
+	s, ts := newTestServer(t, Config{BatchWindow: -1})
+	var once sync.Once
+	s.execHook = func(key batchKey, live int) {
+		var fired bool
+		once.Do(func() { fired = true })
+		if fired {
+			panic("injected failure")
+		}
+	}
+	re := make([]float64, 64)
+	body, _ := json.Marshal(jsonRequest{Kind: "forward", Re: re})
+	resp, err := http.Post(ts.URL+"/fft", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("poisoned batch status = %d, want 500", resp.StatusCode)
+	}
+	if s.m.panics.Value() != 1 {
+		t.Fatalf("panic counter = %d, want 1", s.m.panics.Value())
+	}
+	resp2, _ := postJSON(t, ts.URL, jsonRequest{Kind: "forward", Re: re})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic status = %d, want 200 (server must keep serving)", resp2.StatusCode)
+	}
+	if len(s.sem) != 0 {
+		t.Fatalf("queue depth = %d after panic, want 0 (slot leaked)", len(s.sem))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchWindow: -1, MaxN: 1 << 12})
+	for name, req := range map[string]jsonRequest{
+		"not a power of two": {Kind: "forward", Re: make([]float64, 100)},
+		"unknown kind":       {Kind: "sideways", Re: make([]float64, 64)},
+		"too large":          {Kind: "forward", Re: make([]float64, 1<<13)},
+		"too small":          {Kind: "forward", Re: make([]float64, 2)},
+		"im length mismatch": {Kind: "forward", Re: make([]float64, 64), Im: make([]float64, 3)},
+		"real with im":       {Kind: "real", Re: make([]float64, 64), Im: make([]float64, 64)},
+	} {
+		resp, _ := postJSON(t, ts.URL, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+	// Binary: a structurally valid frame with an unservable length.
+	enc, err := EncodeFrame(Frame{Kind: KindForward, Complex: make([]complex128, 96)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/fft/bin", "application/octet-stream", bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("binary non-pow2: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMetricsAfterKnownMix sends a fixed request mix and asserts the
+// counters and the /metrics exposition agree with it.
+func TestMetricsAfterKnownMix(t *testing.T) {
+	s, ts := newTestServer(t, Config{BatchWindow: -1})
+	re256 := make([]float64, 256)
+	re256[0] = 1
+	for i := 0; i < 3; i++ {
+		if resp, _ := postJSON(t, ts.URL, jsonRequest{Kind: "forward", Re: re256}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("forward %d: status %d", i, resp.StatusCode)
+		}
+	}
+	enc, _ := EncodeFrame(Frame{Kind: KindInverse, Complex: make([]complex128, 512)})
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/fft/bin", "application/octet-stream", bytes.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("binary inverse %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if resp, _ := postJSON(t, ts.URL, jsonRequest{Kind: "forward", Re: make([]float64, 100)}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad request: status %d, want 400", resp.StatusCode)
+	}
+
+	if got := s.m.requests.Value(); got != 6 {
+		t.Errorf("requests_total = %d, want 6", got)
+	}
+	if got := s.m.ok.Value(); got != 5 {
+		t.Errorf("responses_ok_total = %d, want 5", got)
+	}
+	if got := s.m.bad.Value(); got != 1 {
+		t.Errorf("responses_bad_request_total = %d, want 1", got)
+	}
+	if got := s.m.batches.Value(); got != 5 {
+		t.Errorf("batches_total = %d, want 5 (window disabled)", got)
+	}
+	if got := s.m.occupancy.Count(); got != 5 {
+		t.Errorf("occupancy observations = %d, want 5", got)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := readAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, line := range []string{
+		"fft_requests_total 6",
+		"fft_responses_ok_total 5",
+		"fft_responses_bad_request_total 1",
+		"fft_batches_total 5",
+	} {
+		if !strings.Contains(text, line+"\n") {
+			t.Errorf("/metrics missing %q:\n%s", line, text)
+		}
+	}
+	for _, name := range []string{"fft_batch_occupancy_mean", "fft_queue_depth", "plan_cache_len", "engine_batch_occupancy_count", "fft_request_seconds_p99"} {
+		if !strings.Contains(text, name+" ") {
+			t.Errorf("/metrics missing instrument %q", name)
+		}
+	}
+}
+
+// TestConcurrentMixedSizes hammers the server with many goroutines and
+// several shapes at once — the -race exercise for the whole pipeline.
+func TestConcurrentMixedSizes(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchWindow: time.Millisecond, MaxBatch: 16})
+	sizes := []int{64, 128, 256}
+	const perSize = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, len(sizes)*perSize)
+	for _, n := range sizes {
+		for i := 0; i < perSize; i++ {
+			wg.Add(1)
+			go func(n, i int) {
+				defer wg.Done()
+				re := make([]float64, n)
+				re[i%n] = 1
+				kind := "forward"
+				if i%2 == 1 {
+					kind = "inverse"
+				}
+				body, _ := json.Marshal(jsonRequest{Kind: kind, Re: re})
+				resp, err := http.Post(ts.URL+"/fft", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("n=%d: status %d", n, resp.StatusCode)
+				}
+			}(n, i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
