@@ -6,11 +6,13 @@
 package codeletfft_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"codeletfft"
+	"codeletfft/cluster"
 	"codeletfft/internal/exp"
 )
 
@@ -326,6 +328,49 @@ func BenchmarkHostReal(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCluster contrasts the single-node parallel transform
+// ("local") against a loopback cluster of in-process workers
+// ("cluster/w=K") at large N. The loopback transport pays the full
+// protocol cost — shard framing, HTTP handler dispatch, admission —
+// but no network, so this isolates the coordination overhead the
+// distributed path adds over raw execution:
+//
+//	go test -bench BenchmarkCluster -benchtime 5x
+func BenchmarkCluster(b *testing.B) {
+	const logN, n = 20, 1 << 20
+	data := noise(n, 1)
+	scratch := make([]complex128, n)
+	b.Run("local", func(b *testing.B) {
+		h, err := codeletfft.CachedHostPlan(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(n) * 16)
+		for i := 0; i < b.N; i++ {
+			copy(scratch, data)
+			h.ParallelTransform(scratch)
+		}
+	})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("cluster/w=%d", workers), func(b *testing.B) {
+			cl, err := cluster.NewLoopback(workers, cluster.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			ctx := context.Background()
+			b.SetBytes(int64(n) * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(scratch, data)
+				if err := cl.Transform(ctx, scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func byteSize(v int64) string { return fmt.Sprintf("%d", v) }

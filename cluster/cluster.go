@@ -1,0 +1,144 @@
+// Package cluster is the public face of the distributed FFT: a
+// coordinator that factors large transforms four-step (N = N1·N2) and
+// fans the column and row FFT passes out to worker daemons, with
+// health-checked membership, consistent-hash placement, retries,
+// optional hedging, and graceful degradation to local execution.
+//
+// Workers are `fftserved -worker` processes; a Cluster built with New
+// reaches them over HTTP. NewLoopback instead stands up an entire
+// cluster — coordinator plus in-process workers — inside the calling
+// process, which is how the examples and tests run without sockets:
+//
+//	cl, _ := cluster.NewLoopback(3, cluster.Config{})
+//	defer cl.Close()
+//	data := make([]complex128, 1<<16)
+//	// ... fill data ...
+//	_ = cl.Transform(context.Background(), data)
+//
+// The heavy lifting lives in internal/dist; this package pins the
+// supported surface while the internals keep evolving.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"codeletfft/internal/dist"
+	"codeletfft/internal/serve"
+)
+
+// Config tunes a Cluster. The zero value is usable: no workers means
+// every transform runs locally (fully degraded but correct).
+type Config struct {
+	// Workers lists worker base URLs (e.g. "http://10.0.0.7:8080") for
+	// New; NewLoopback ignores it and generates its own set.
+	Workers []string
+	// MemberFile, when non-empty, is a polled membership file — one
+	// worker address per line, '#' comments — that can add and remove
+	// workers at runtime.
+	MemberFile string
+	// ProbeInterval enables active health probing of every worker; 0
+	// disables it (per-worker circuit breakers still react to call
+	// failures).
+	ProbeInterval time.Duration
+
+	// ShardVecs is how many column/row vectors ride in one worker RPC
+	// (default 32).
+	ShardVecs int
+	// MaxAttempts bounds the tries per shard, first attempt included
+	// (default 3).
+	MaxAttempts int
+	// HedgeDelay, when positive, sends a second copy of a slow shard to
+	// the next worker on the ring; the first answer wins. 0 disables.
+	HedgeDelay time.Duration
+	// ShardTimeout is the per-attempt deadline (default 10s).
+	ShardTimeout time.Duration
+
+	// Factor overrides the four-step split for a given N; nil picks the
+	// near-square power-of-two split.
+	Factor func(n int) (n1, n2 int)
+}
+
+func (c Config) dist() dist.Config {
+	return dist.Config{
+		Workers:       c.Workers,
+		MemberFile:    c.MemberFile,
+		ProbeInterval: c.ProbeInterval,
+		ShardVecs:     c.ShardVecs,
+		MaxAttempts:   c.MaxAttempts,
+		HedgeDelay:    c.HedgeDelay,
+		ShardTimeout:  c.ShardTimeout,
+		Factor:        c.Factor,
+	}
+}
+
+// Cluster distributes forward and inverse FFTs over a worker set. Safe
+// for concurrent use; Close releases the membership loops (and, for
+// loopback clusters, the in-process workers).
+type Cluster struct {
+	co *dist.Coordinator
+}
+
+// New connects to the configured workers over HTTP.
+func New(cfg Config) (*Cluster, error) {
+	dc := cfg.dist()
+	dc.Transport = &dist.HTTPTransport{}
+	co, err := dist.NewCoordinator(dc)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{co: co}, nil
+}
+
+// NewLoopback builds a self-contained cluster with nWorkers in-process
+// workers — the full coordinator/worker protocol with no sockets.
+func NewLoopback(nWorkers int, cfg Config) (*Cluster, error) {
+	if nWorkers <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one loopback worker, got %d", nWorkers)
+	}
+	lb := dist.NewLoopback()
+	addrs := make([]string, nWorkers)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("loopback-%d", i)
+		srv := serve.New(serve.Config{EnableShard: true, MaxN: dist.MaxClusterN})
+		lb.Register(addrs[i], srv.Handler())
+	}
+	dc := cfg.dist()
+	dc.Transport = lb
+	dc.Workers = addrs
+	co, err := dist.NewCoordinator(dc)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{co: co}, nil
+}
+
+// Transform applies the forward FFT to data in place. len(data) must be
+// a power of two ≥ 4. The output matches the single-node transform
+// within floating-point tolerance.
+func (c *Cluster) Transform(ctx context.Context, data []complex128) error {
+	return c.co.Transform(ctx, data)
+}
+
+// Inverse applies the inverse FFT in place.
+func (c *Cluster) Inverse(ctx context.Context, data []complex128) error {
+	return c.co.Inverse(ctx, data)
+}
+
+// Close stops the cluster's background loops.
+func (c *Cluster) Close() { c.co.Close() }
+
+// Snapshot returns the coordinator's metrics — transform and RPC
+// counts, retry/hedge/degradation counters, latency histograms — as a
+// flat name → value map.
+func (c *Cluster) Snapshot() map[string]float64 { return c.co.Registry().Snapshot() }
+
+// MetricsText renders the coordinator's metrics in the same plain-text
+// exposition format the daemons serve at /metrics.
+func (c *Cluster) MetricsText() string {
+	var b strings.Builder
+	c.co.Registry().WriteText(&b)
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package cluster_test
+
+import (
+	"context"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"codeletfft"
+	"codeletfft/cluster"
+)
+
+// TestLoopbackClusterMatchesSingleNode drives the public API end to
+// end: a 3-worker loopback cluster must reproduce the single-node
+// parallel transform.
+func TestLoopbackClusterMatchesSingleNode(t *testing.T) {
+	cl, err := cluster.NewLoopback(3, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const n = 1 << 14
+	rng := rand.New(rand.NewSource(1))
+	data := make([]complex128, n)
+	for i := range data {
+		data[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	want := append([]complex128(nil), data...)
+	hp, err := codeletfft.CachedHostPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp.ParallelTransform(want)
+	if err := cl.Transform(context.Background(), data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if d := cmplx.Abs(data[i] - want[i]); d > 1e-12*float64(n) {
+			t.Fatalf("bin %d deviates by %g", i, d)
+		}
+	}
+	snap := cl.Snapshot()
+	if snap["dist_transforms_total"] != 1 {
+		t.Errorf("dist_transforms_total = %v, want 1", snap["dist_transforms_total"])
+	}
+	if snap["dist_degraded_total"] != 0 {
+		t.Errorf("dist_degraded_total = %v, want 0", snap["dist_degraded_total"])
+	}
+	if cl.MetricsText() == "" {
+		t.Error("MetricsText returned nothing")
+	}
+}
+
+// TestLoopbackClusterRoundTrip checks Inverse undoes Transform through
+// the public API.
+func TestLoopbackClusterRoundTrip(t *testing.T) {
+	cl, err := cluster.NewLoopback(2, cluster.Config{ShardVecs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const n = 1 << 10
+	rng := rand.New(rand.NewSource(2))
+	orig := make([]complex128, n)
+	for i := range orig {
+		orig[i] = complex(rng.Float64(), rng.Float64())
+	}
+	data := append([]complex128(nil), orig...)
+	ctx := context.Background()
+	if err := cl.Transform(ctx, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Inverse(ctx, data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if d := cmplx.Abs(data[i] - orig[i]); d > 1e-11 {
+			t.Fatalf("round trip bin %d error %g", i, d)
+		}
+	}
+}
+
+func TestNewLoopbackRejectsZeroWorkers(t *testing.T) {
+	if _, err := cluster.NewLoopback(0, cluster.Config{}); err == nil {
+		t.Fatal("NewLoopback(0) succeeded")
+	}
+}

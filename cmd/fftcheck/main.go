@@ -2,9 +2,11 @@
 // across a matrix of transform lengths and codelet sizes, comparing each
 // simulated run's output against an independent reference FFT; checks
 // that the parallel host engine's output is bitwise identical to the
-// serial host path on the same matrix; and checks the serving-path APIs
+// serial host path on the same matrix; checks the serving-path APIs
 // (TransformBatch against a transform loop, the real-input path against
-// the complex reference). Any section failure exits non-zero.
+// the complex reference); and checks the distributed four-step path (a
+// 3-worker loopback cluster against the single-node parallel transform
+// across several factorizations). Any section failure exits non-zero.
 //
 // Usage:
 //
@@ -14,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -21,6 +24,7 @@ import (
 	"os"
 
 	"codeletfft"
+	"codeletfft/cluster"
 	"codeletfft/internal/report"
 )
 
@@ -69,11 +73,100 @@ func main() {
 
 	failures += checkHostEngine(*minLog, *maxLog, *seed, *workers)
 	failures += checkBatchAndReal(*minLog, *maxLog, *seed, *workers)
+	failures += checkDist(*minLog, *maxLog, *seed)
 
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "fftcheck: %d failures\n", failures)
 		os.Exit(1)
 	}
+}
+
+// checkDist verifies the cluster path: a 3-worker loopback cluster
+// (full coordinator/worker shard protocol, in process) must match the
+// single-node parallel transform for every N in the matrix across
+// several four-step factorizations, and a cluster forward + inverse
+// round trip must return the input. Returns the failure count.
+func checkDist(minLog, maxLog int, seed int64) int {
+	const clusterWorkers = 3
+	tb := &report.Table{Headers: []string{"N", "split", "max error", "roundtrip error"}}
+	failures := 0
+	ctx := context.Background()
+	for lg := minLog; lg <= maxLog; lg += 2 {
+		n := 1 << lg
+		splits := [][2]int{
+			{1 << (lg / 2), 1 << (lg - lg/2)}, // near-square
+			{1 << 2, 1 << (lg - 2)},           // short columns
+			{1 << (lg - 2), 1 << 2},           // short rows
+		}
+		for _, split := range splits {
+			n1, n2 := split[0], split[1]
+			cl, err := cluster.NewLoopback(clusterWorkers, cluster.Config{
+				Factor: func(int) (int, int) { return n1, n2 },
+			})
+			if err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "fftcheck: dist N=2^%d: %v\n", lg, err)
+				continue
+			}
+
+			rng := rand.New(rand.NewSource(seed))
+			x := make([]complex128, n)
+			for i := range x {
+				x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			want := append([]complex128(nil), x...)
+			h, err := codeletfft.CachedHostPlan(n)
+			if err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "fftcheck: dist reference N=2^%d: %v\n", lg, err)
+				cl.Close()
+				continue
+			}
+			h.ParallelTransform(want)
+
+			got := append([]complex128(nil), x...)
+			if err := cl.Transform(ctx, got); err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "fftcheck: dist N=2^%d %dx%d: %v\n", lg, n1, n2, err)
+				cl.Close()
+				continue
+			}
+			var worst float64
+			for i := range got {
+				d := got[i] - want[i]
+				if v := math.Hypot(real(d), imag(d)); v > worst {
+					worst = v
+				}
+			}
+			if err := cl.Inverse(ctx, got); err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "fftcheck: dist inverse N=2^%d %dx%d: %v\n", lg, n1, n2, err)
+				cl.Close()
+				continue
+			}
+			var rt float64
+			for i := range got {
+				d := got[i] - x[i]
+				if v := math.Hypot(real(d), imag(d)); v > rt {
+					rt = v
+				}
+			}
+			cl.Close()
+
+			tol := 1e-12 * float64(n)
+			if worst > tol || rt > tol {
+				failures++
+			}
+			tb.AddRow(fmt.Sprintf("2^%d", lg), fmt.Sprintf("%dx%d", n1, n2),
+				fmt.Sprintf("%.3g", worst), fmt.Sprintf("%.3g", rt))
+		}
+	}
+	fmt.Printf("\ndistributed four-step cluster (%d loopback workers) vs single node:\n\n", clusterWorkers)
+	if err := tb.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fftcheck:", err)
+		os.Exit(1)
+	}
+	return failures
 }
 
 // checkBatchAndReal verifies the serving-path APIs on the same matrix:

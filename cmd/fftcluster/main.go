@@ -1,0 +1,218 @@
+// fftcluster is the cluster FFT coordinator daemon: an HTTP front end
+// over internal/dist. Client transforms arrive as binary frames
+// (the fftserved FFB1 codec, complex forward/inverse kinds), are
+// factored four-step, and the column/row FFT passes are dispatched as
+// shard RPCs to `fftserved -worker` processes — with health-checked
+// membership, per-worker circuit breakers, consistent-hash placement,
+// retries with exponential backoff, optional hedged requests, and
+// graceful degradation to local execution when the worker set is
+// empty or exhausted.
+//
+//	go run ./cmd/fftcluster -addr :9100 \
+//	    -workers http://127.0.0.1:9101,http://127.0.0.1:9102 \
+//	    -probe 500ms -hedge 0
+//
+// Endpoints: POST /fft/bin (binary frames, forward/inverse complex),
+// GET /metrics, GET /healthz, GET /debug/vars (expvar). SIGTERM/SIGINT
+// triggers a graceful drain: new requests shed with 503 while admitted
+// transforms finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"codeletfft/internal/dist"
+	"codeletfft/internal/metrics"
+	"codeletfft/internal/serve"
+)
+
+// server fronts a dist.Coordinator with the binary frame protocol and
+// drain bookkeeping.
+type server struct {
+	co       *dist.Coordinator
+	reg      *metrics.Registry
+	timeout  time.Duration
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	requests *metrics.Counter
+	okCount  *metrics.Counter
+	bad      *metrics.Counter
+	shed     *metrics.Counter
+}
+
+func (s *server) handleBin(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	if s.draining.Load() {
+		s.shed.Inc()
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16*int64(serve.MaxFrameElems)+64))
+	if err != nil {
+		s.bad.Inc()
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	f, err := serve.DecodeFrame(raw)
+	if err != nil {
+		s.bad.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if f.Kind != serve.KindForward && f.Kind != serve.KindInverse {
+		s.bad.Inc()
+		http.Error(w, "cluster serves complex forward/inverse frames only", http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	if f.Kind == serve.KindForward {
+		err = s.co.Transform(ctx, f.Complex)
+	} else {
+		err = s.co.Inverse(ctx, f.Complex)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+		} else {
+			s.bad.Inc()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	enc, err := serve.EncodeFrame(f)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.okCount.Inc()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(enc)
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":9100", "listen address")
+		workers     = flag.String("workers", "", "comma-separated worker base URLs (fftserved -worker processes)")
+		memberFile  = flag.String("member-file", "", "membership file polled for worker joins/leaves (one address per line)")
+		probe       = flag.Duration("probe", time.Second, "worker health-probe interval (0 disables)")
+		shardVecs   = flag.Int("shard-vecs", dist.DefaultShardVecs, "column/row vectors per shard RPC")
+		maxAttempts = flag.Int("max-attempts", dist.DefaultMaxAttempts, "tries per shard, first attempt included")
+		hedge       = flag.Duration("hedge", 0, "hedged-request delay; 0 disables tail-latency hedging")
+		shardTO     = flag.Duration("shard-timeout", dist.DefaultShardTimeout, "per-attempt shard deadline")
+		inflight    = flag.Int("max-inflight", dist.DefaultMaxInflight, "concurrent shard RPCs per transform")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-request deadline")
+		localW      = flag.Int("local-workers", 0, "goroutines for degraded local execution (0 = GOMAXPROCS)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
+	)
+	flag.Parse()
+
+	var workerList []string
+	for _, w := range strings.Split(*workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workerList = append(workerList, w)
+		}
+	}
+	co, err := dist.NewCoordinator(dist.Config{
+		Transport:     &dist.HTTPTransport{},
+		Workers:       workerList,
+		MemberFile:    *memberFile,
+		ProbeInterval: *probe,
+		ShardVecs:     *shardVecs,
+		MaxAttempts:   *maxAttempts,
+		HedgeDelay:    *hedge,
+		ShardTimeout:  *shardTO,
+		MaxInflight:   *inflight,
+		LocalWorkers:  *localW,
+	})
+	if err != nil {
+		log.Fatalf("fftcluster: %v", err)
+	}
+	defer co.Close()
+	reg := co.Registry()
+	reg.Publish("fftcluster")
+
+	s := &server{
+		co:       co,
+		reg:      reg,
+		timeout:  *timeout,
+		requests: reg.Counter("cluster_requests_total"),
+		okCount:  reg.Counter("cluster_ok_total"),
+		bad:      reg.Counter("cluster_bad_total"),
+		shed:     reg.Counter("cluster_shed_total"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fft/bin", s.handleBin)
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("fftcluster listening on %s (%d workers, probe=%v hedge=%v shard-vecs=%d)",
+		*addr, len(workerList), *probe, *hedge, *shardVecs)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received; draining (timeout %v)", *drainWait)
+	s.draining.Store(true)
+	httpSrv.SetKeepAlivesEnabled(false)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-shutCtx.Done():
+		log.Printf("drain: timed out with requests in flight")
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("listener: %v", err)
+	}
+	log.Printf("drained cleanly")
+}

@@ -9,7 +9,10 @@
 //	go run ./cmd/fftserved -addr :8080 -window 2ms -max-batch 64
 //
 // Endpoints: POST /fft (JSON), POST /fft/bin (binary frames),
-// GET /metrics, GET /healthz, GET /debug/vars (expvar).
+// GET /metrics, GET /healthz, GET /debug/vars (expvar). With -worker
+// the daemon additionally serves POST /fft/shard, the cluster
+// shard-execution endpoint a fftcluster coordinator dispatches
+// four-step segments to.
 package main
 
 import (
@@ -40,6 +43,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
 		taskSize   = flag.Int("task", 0, "P-point kernel size (0 = engine default, 64)")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
+		worker     = flag.Bool("worker", false, "serve POST /fft/shard so a fftcluster coordinator can dispatch four-step segments here")
 	)
 	flag.Parse()
 
@@ -53,6 +57,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		Workers:        *workers,
 		TaskSize:       *taskSize,
+		EnableShard:    *worker,
 	})
 	s.Registry().Publish("fftserved")
 
@@ -70,8 +75,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("fftserved listening on %s (window=%v max-batch=%d queue=%d N=[%d,%d])",
-		*addr, *window, *maxBatch, *queue, *minN, *maxN)
+	mode := ""
+	if *worker {
+		mode = " worker-mode"
+	}
+	log.Printf("fftserved listening on %s%s (window=%v max-batch=%d queue=%d N=[%d,%d])",
+		*addr, mode, *window, *maxBatch, *queue, *minN, *maxN)
 
 	select {
 	case err := <-errCh:

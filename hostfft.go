@@ -172,6 +172,7 @@ type ParallelConfig struct {
 type HostPlan struct {
 	core *hostCore
 	eng  *host.Engine
+	obs  EngineObserver // retained so SetParallel keeps the observer
 }
 
 // NewHostPlan builds a host-side plan for n-point transforms. By
@@ -188,7 +189,7 @@ func NewHostPlan(n int, opts ...HostOption) (*HostPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &HostPlan{core: core, eng: o.engine()}, nil
+	return &HostPlan{core: core, eng: o.engine(), obs: o.observer}, nil
 }
 
 // CachedHostPlan is NewHostPlan backed by a process-wide, size-bounded,
@@ -206,7 +207,7 @@ func CachedHostPlan(n int, opts ...HostOption) (*HostPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &HostPlan{core: core, eng: o.engine()}, nil
+	return &HostPlan{core: core, eng: o.engine(), obs: o.observer}, nil
 }
 
 // N returns the transform length.
@@ -218,12 +219,13 @@ func (h *HostPlan) TaskSize() int { return h.core.pl.P }
 // Workers returns the worker count the parallel engine resolved.
 func (h *HostPlan) Workers() int { return h.eng.Workers() }
 
-// SetParallel reconfigures the parallel engine. Call before handing the
-// plan to concurrent users.
+// SetParallel reconfigures the parallel engine, preserving any observer
+// attached with WithObserver. Call before handing the plan to concurrent
+// users.
 //
 // Deprecated: pass WithWorkers and WithThreshold to NewHostPlan instead.
 func (h *HostPlan) SetParallel(cfg ParallelConfig) {
-	h.eng = host.New(host.Config{Workers: cfg.Workers, Threshold: cfg.Threshold})
+	h.eng = host.New(host.Config{Workers: cfg.Workers, Threshold: cfg.Threshold, Observer: h.obs})
 }
 
 // Transform applies the forward FFT in place. len(data) must equal N;
@@ -314,6 +316,7 @@ func (h *HostPlan) ParallelRealInverse(x []float64, spec []complex128) error {
 type HostPlan2D struct {
 	pl  *fft.Plan2D
 	eng *host.Engine
+	obs EngineObserver // retained so SetParallel keeps the observer
 }
 
 // NewHostPlan2D builds a host-side plan for rows×cols transforms. It
@@ -325,15 +328,16 @@ func NewHostPlan2D(rows, cols int, opts ...HostOption) (*HostPlan2D, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &HostPlan2D{pl: pl, eng: o.engine()}, nil
+	return &HostPlan2D{pl: pl, eng: o.engine(), obs: o.observer}, nil
 }
 
-// SetParallel reconfigures the parallel engine. Call before handing the
-// plan to concurrent users.
+// SetParallel reconfigures the parallel engine, preserving any observer
+// attached with WithObserver. Call before handing the plan to concurrent
+// users.
 //
 // Deprecated: pass WithWorkers and WithThreshold to NewHostPlan2D instead.
 func (h *HostPlan2D) SetParallel(cfg ParallelConfig) {
-	h.eng = host.New(host.Config{Workers: cfg.Workers, Threshold: cfg.Threshold})
+	h.eng = host.New(host.Config{Workers: cfg.Workers, Threshold: cfg.Threshold, Observer: h.obs})
 }
 
 // Workers returns the worker count the parallel engine resolved.

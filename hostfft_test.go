@@ -372,6 +372,38 @@ func TestWithObserverThreadsTelemetry(t *testing.T) {
 	}
 }
 
+// TestSetParallelKeepsObserver is the regression test for SetParallel
+// silently dropping the observer attached with WithObserver: the
+// rebuilt engine must keep reporting telemetry.
+func TestSetParallelKeepsObserver(t *testing.T) {
+	const n = 256
+	obs := new(countObserver)
+	h, err := codeletfft.NewHostPlan(n,
+		codeletfft.WithThreshold(1),
+		codeletfft.WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetParallel(codeletfft.ParallelConfig{Workers: 2, Threshold: 1})
+	h.ParallelTransform(noise(n, 1))
+	if obs.passes.Load() == 0 {
+		t.Fatal("SetParallel dropped the WithObserver observer: no passes reported")
+	}
+
+	obs2 := new(countObserver)
+	h2, err := codeletfft.NewHostPlan2D(16, 16,
+		codeletfft.WithThreshold(1),
+		codeletfft.WithObserver(obs2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.SetParallel(codeletfft.ParallelConfig{Workers: 2, Threshold: 1})
+	h2.ParallelTransform(noise(16*16, 2))
+	if obs2.passes.Load() == 0 {
+		t.Fatal("HostPlan2D.SetParallel dropped the observer: no passes reported")
+	}
+}
+
 func TestPlanCacheStats(t *testing.T) {
 	h0, m0 := codeletfft.PlanCacheStats()
 	const n = 1 << 9 // a size no other test is likely to have cached with this task size

@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"strings"
+	"sync"
+
+	"codeletfft/internal/metrics"
+)
+
+// distMetrics names the coordinator's instruments once. The counters
+// are defined so fault-injection tests can assert exact consistency:
+// every failed RPC attempt increments errors; every failed attempt
+// that is followed by another attempt increments retries; every hedge
+// launch increments hedges (wins count separately); a transform that
+// never leaves the coordinator increments degraded; a single shard
+// that exhausts its attempts and runs locally increments localShards.
+type distMetrics struct {
+	reg *metrics.Registry
+
+	transforms  *metrics.Counter // dist_transforms_total
+	attempts    *metrics.Counter // dist_rpc_attempts_total
+	errors      *metrics.Counter // dist_rpc_errors_total
+	retries     *metrics.Counter // dist_retries_total
+	hedges      *metrics.Counter // dist_hedges_total
+	hedgeWins   *metrics.Counter // dist_hedge_wins_total
+	degraded    *metrics.Counter // dist_degraded_total
+	localShards *metrics.Counter // dist_local_shards_total
+	shards      *metrics.Counter // dist_shards_total
+
+	rpcSec       *metrics.Histogram // dist_rpc_seconds
+	transformSec *metrics.Histogram // dist_transform_seconds
+
+	mu        sync.Mutex
+	workerSec map[string]*metrics.Histogram
+	workerErr map[string]*metrics.Counter
+}
+
+func newDistMetrics(r *metrics.Registry) *distMetrics {
+	latency := metrics.ExpBuckets(1e-5, 2, 22) // 10µs … ~40s
+	return &distMetrics{
+		reg:          r,
+		transforms:   r.Counter("dist_transforms_total"),
+		attempts:     r.Counter("dist_rpc_attempts_total"),
+		errors:       r.Counter("dist_rpc_errors_total"),
+		retries:      r.Counter("dist_retries_total"),
+		hedges:       r.Counter("dist_hedges_total"),
+		hedgeWins:    r.Counter("dist_hedge_wins_total"),
+		degraded:     r.Counter("dist_degraded_total"),
+		localShards:  r.Counter("dist_local_shards_total"),
+		shards:       r.Counter("dist_shards_total"),
+		rpcSec:       r.Histogram("dist_rpc_seconds", latency),
+		transformSec: r.Histogram("dist_transform_seconds", latency),
+		workerSec:    map[string]*metrics.Histogram{},
+		workerErr:    map[string]*metrics.Counter{},
+	}
+}
+
+// sanitizeAddr turns a worker address into a metric-name suffix:
+// anything outside [a-zA-Z0-9_] becomes '_'.
+func sanitizeAddr(addr string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, addr)
+}
+
+// perWorkerSec returns the worker's RPC latency histogram, creating
+// dist_worker_<addr>_rpc_seconds on first use.
+func (m *distMetrics) perWorkerSec(addr string) *metrics.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.workerSec[addr]
+	if !ok {
+		h = m.reg.Histogram("dist_worker_"+sanitizeAddr(addr)+"_rpc_seconds", metrics.ExpBuckets(1e-5, 2, 22))
+		m.workerSec[addr] = h
+	}
+	return h
+}
+
+// perWorkerErr returns the worker's error counter, creating
+// dist_worker_<addr>_errors_total on first use.
+func (m *distMetrics) perWorkerErr(addr string) *metrics.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.workerErr[addr]
+	if !ok {
+		c = m.reg.Counter("dist_worker_" + sanitizeAddr(addr) + "_errors_total")
+		m.workerErr[addr] = c
+	}
+	return c
+}

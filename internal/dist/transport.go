@@ -1,0 +1,198 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"codeletfft/internal/serve"
+)
+
+// Transport carries shard frames to workers. Exec must not mutate
+// req.Data (hedged attempts share one request) and must return a
+// response with freshly allocated Data. Implementations must be safe
+// for concurrent use.
+type Transport interface {
+	// Exec posts one shard frame to the worker at addr and returns the
+	// decoded response frame.
+	Exec(ctx context.Context, addr string, req serve.ShardFrame) (serve.ShardFrame, error)
+	// Health probes the worker's health endpoint; nil means the worker
+	// is accepting traffic.
+	Health(ctx context.Context, addr string) error
+}
+
+// HTTPTransport speaks the shard protocol over real HTTP: addr is the
+// worker's base URL (e.g. "http://10.0.0.7:8080") with the shard-exec
+// endpoint at /fft/shard and health at /healthz — a `fftserved -worker`
+// process.
+type HTTPTransport struct {
+	// Client is the HTTP client to use; nil means a dedicated client
+	// with sane connection pooling and no global timeout (per-call
+	// deadlines come from the context).
+	Client *http.Client
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return defaultHTTPClient
+}
+
+// defaultHTTPClient pools keep-alive connections per worker; shard
+// payloads are large, so reusing connections matters more than the
+// default transport's conservative idle limits.
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
+// Exec implements Transport.
+func (t *HTTPTransport) Exec(ctx context.Context, addr string, req serve.ShardFrame) (serve.ShardFrame, error) {
+	enc, err := serve.EncodeShardFrame(req)
+	if err != nil {
+		return serve.ShardFrame{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/fft/shard", bytes.NewReader(enc))
+	if err != nil {
+		return serve.ShardFrame{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := t.client().Do(hreq)
+	if err != nil {
+		return serve.ShardFrame{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return serve.ShardFrame{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return serve.ShardFrame{}, fmt.Errorf("dist: worker %s: status %d: %s", addr, resp.StatusCode, snippet(raw))
+	}
+	return serve.DecodeShardFrame(raw)
+}
+
+// Health implements Transport.
+func (t *HTTPTransport) Health(ctx context.Context, addr string) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: worker %s health: status %d", addr, resp.StatusCode)
+	}
+	return nil
+}
+
+func snippet(b []byte) string {
+	const max = 120
+	s := string(bytes.TrimSpace(b))
+	if len(s) > max {
+		s = s[:max] + "…"
+	}
+	return s
+}
+
+// Loopback is an in-process Transport: worker addresses map to HTTP
+// handlers (typically serve.Server handlers with the shard endpoint
+// enabled) invoked directly, so a whole cluster — coordinator, workers,
+// codec, failure handling — runs inside one `go test` process under
+// the race detector, with no sockets.
+type Loopback struct {
+	mu       sync.RWMutex
+	handlers map[string]http.Handler
+
+	// Fault, when non-nil, runs before every Exec; a non-nil return is
+	// delivered as the transport error without reaching the worker —
+	// the fault-injection seam the cluster tests and fftcheck use to
+	// simulate crashed or partitioned workers.
+	Fault func(addr string, req serve.ShardFrame) error
+}
+
+// NewLoopback returns an empty loopback transport.
+func NewLoopback() *Loopback {
+	return &Loopback{handlers: map[string]http.Handler{}}
+}
+
+// Register maps a worker address to its handler.
+func (l *Loopback) Register(addr string, h http.Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.handlers[addr] = h
+}
+
+// Deregister removes a worker, simulating a vanished process: further
+// calls to it fail like a refused dial.
+func (l *Loopback) Deregister(addr string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.handlers, addr)
+}
+
+func (l *Loopback) handler(addr string) (http.Handler, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	h, ok := l.handlers[addr]
+	if !ok {
+		return nil, fmt.Errorf("dist: loopback worker %s: connection refused", addr)
+	}
+	return h, nil
+}
+
+// Exec implements Transport.
+func (l *Loopback) Exec(ctx context.Context, addr string, req serve.ShardFrame) (serve.ShardFrame, error) {
+	if f := l.Fault; f != nil {
+		if err := f(addr, req); err != nil {
+			return serve.ShardFrame{}, err
+		}
+	}
+	h, err := l.handler(addr)
+	if err != nil {
+		return serve.ShardFrame{}, err
+	}
+	enc, err := serve.EncodeShardFrame(req)
+	if err != nil {
+		return serve.ShardFrame{}, err
+	}
+	hreq := httptest.NewRequest(http.MethodPost, "http://"+addr+"/fft/shard", bytes.NewReader(enc)).WithContext(ctx)
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, hreq)
+	if err := ctx.Err(); err != nil {
+		return serve.ShardFrame{}, err
+	}
+	if rec.Code != http.StatusOK {
+		return serve.ShardFrame{}, fmt.Errorf("dist: worker %s: status %d: %s", addr, rec.Code, snippet(rec.Body.Bytes()))
+	}
+	return serve.DecodeShardFrame(rec.Body.Bytes())
+}
+
+// Health implements Transport.
+func (l *Loopback) Health(ctx context.Context, addr string) error {
+	h, err := l.handler(addr)
+	if err != nil {
+		return err
+	}
+	hreq := httptest.NewRequest(http.MethodGet, "http://"+addr+"/healthz", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, hreq)
+	if rec.Code != http.StatusOK {
+		return fmt.Errorf("dist: worker %s health: status %d", addr, rec.Code)
+	}
+	return nil
+}

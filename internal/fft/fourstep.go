@@ -1,0 +1,183 @@
+package fft
+
+import "fmt"
+
+// FourStepPlan is the Bailey four-step factorization of an N-point DFT
+// into N = N1·N2: column FFTs, a twiddle scaling, row FFTs, and a final
+// transpose. It is the decomposition large transforms shard across
+// machines — each column (length N1) and each row (length N2) is an
+// independent sub-FFT, so the two FFT steps fan out as batches while
+// the transposes and the twiddle step are embarrassingly parallel
+// element permutations.
+//
+// With the input read row-major as an N1×N2 matrix A[j1][j2] =
+// x[j1·N2+j2] and ω = exp(−2πi/N), the identity is
+//
+//	X[k2·N1+k1] = Σ_{j2} ( Σ_{j1} A[j1][j2]·ω_{N1}^{j1·k1} ) · ω^{j2·k1} · ω_{N2}^{j2·k2}
+//
+// so the steps are:
+//
+//  1. transpose A into N2 contiguous columns of length N1,
+//  2. FFT every column and scale column j2's bin k1 by ω^{j2·k1}
+//     (the twiddle segment),
+//  3. transpose back into N1 contiguous rows of length N2 and FFT
+//     every row,
+//  4. transpose once more so bin k lands at index k2·N1+k1 — exactly
+//     the ordering of the direct N-point transform.
+//
+// Transform is the serial reference; internal/dist replays the same
+// steps with the two FFT passes dispatched to remote workers.
+type FourStepPlan struct {
+	N1, N2, N int
+
+	col *Plan // N1-point sub-plan (columns)
+	row *Plan // N2-point sub-plan (rows)
+
+	wCol, wRow []complex128 // sub-transform twiddle tables
+	wBig       []complex128 // Twiddles(N): the step-2 scaling factors
+}
+
+// NewFourStep builds the factorization for N = n1·n2. Both factors must
+// be powers of two ≥ 2 (errors wrap ErrNotPowerOfTwo); the sub-plans
+// use task size min(64, factor), the engine default.
+func NewFourStep(n1, n2 int) (*FourStepPlan, error) {
+	if Log2(n1) < 1 {
+		return nil, fmt.Errorf("%w: N1=%d must be a power of two ≥ 2", ErrNotPowerOfTwo, n1)
+	}
+	if Log2(n2) < 1 {
+		return nil, fmt.Errorf("%w: N2=%d must be a power of two ≥ 2", ErrNotPowerOfTwo, n2)
+	}
+	col, err := NewPlan(n1, min(64, n1))
+	if err != nil {
+		return nil, err
+	}
+	row, err := NewPlan(n2, min(64, n2))
+	if err != nil {
+		return nil, err
+	}
+	n := n1 * n2
+	return &FourStepPlan{
+		N1: n1, N2: n2, N: n,
+		col: col, row: row,
+		wCol: Twiddles(n1), wRow: Twiddles(n2), wBig: Twiddles(n),
+	}, nil
+}
+
+// ColPlan returns the N1-point sub-plan the column step runs.
+func (p *FourStepPlan) ColPlan() *Plan { return p.col }
+
+// RowPlan returns the N2-point sub-plan the row step runs.
+func (p *FourStepPlan) RowPlan() *Plan { return p.row }
+
+// GatherColumns transposes the row-major N1×N2 input into N2 contiguous
+// columns: dst[j2·N1+j1] = data[j1·N2+j2]. Both slices must have length
+// N (panics wrap ErrLengthMismatch).
+func (p *FourStepPlan) GatherColumns(dst, data []complex128) {
+	p.checkLen("GatherColumns dst", dst)
+	p.checkLen("GatherColumns data", data)
+	for j1 := 0; j1 < p.N1; j1++ {
+		r := data[j1*p.N2 : (j1+1)*p.N2]
+		for j2, v := range r {
+			dst[j2*p.N1+j1] = v
+		}
+	}
+}
+
+// ScatterColumns transposes the column buffer back into N1 contiguous
+// rows: dst[k1·N2+j2] = buf[j2·N1+k1], the layout the row FFTs consume.
+func (p *FourStepPlan) ScatterColumns(dst, buf []complex128) {
+	p.checkLen("ScatterColumns dst", dst)
+	p.checkLen("ScatterColumns buf", buf)
+	for j2 := 0; j2 < p.N2; j2++ {
+		c := buf[j2*p.N1 : (j2+1)*p.N1]
+		for k1, v := range c {
+			dst[k1*p.N2+j2] = v
+		}
+	}
+}
+
+// FinalTranspose writes the row-FFT output into direct-DFT bin order:
+// dst[k2·N1+k1] = data[k1·N2+k2].
+func (p *FourStepPlan) FinalTranspose(dst, data []complex128) {
+	p.checkLen("FinalTranspose dst", dst)
+	p.checkLen("FinalTranspose data", data)
+	for k1 := 0; k1 < p.N1; k1++ {
+		r := data[k1*p.N2 : (k1+1)*p.N2]
+		for k2, v := range r {
+			dst[k2*p.N1+k1] = v
+		}
+	}
+}
+
+// TwiddleAt returns ω_n^e for e in [0, n) given w = Twiddles(n), which
+// stores only the first half-turn: the second half is its negation.
+func TwiddleAt(w []complex128, e int) complex128 {
+	if e < len(w) {
+		return w[e]
+	}
+	return -w[e-len(w)]
+}
+
+// TwiddleScale applies the four-step twiddle segment to one transformed
+// column: col[k] *= ω_totalN^{index·k}, with w = Twiddles(totalN) and
+// index the column's j2. The exponent is reduced mod totalN, so any
+// index is accepted. Coordinator and workers both call exactly this
+// function, so a distributed run is bitwise identical to the serial
+// reference in step 2.
+func TwiddleScale(col, w []complex128, index, totalN int) {
+	if len(w) != totalN/2 {
+		panic(LengthError("twiddle table", len(w), totalN/2))
+	}
+	idx := index % totalN
+	e := 0
+	for k := range col {
+		col[k] *= TwiddleAt(w, e)
+		e += idx
+		if e >= totalN {
+			e -= totalN
+		}
+	}
+}
+
+// Transform applies the N-point forward FFT in place via the four-step
+// factorization. The output agrees with Plan.Transform bin for bin
+// (within floating-point tolerance — the two algorithms order the
+// arithmetic differently). It allocates one N-element scratch buffer.
+func (p *FourStepPlan) Transform(data []complex128) {
+	p.checkLen("data", data)
+	buf := make([]complex128, p.N)
+	p.GatherColumns(buf, data)
+	sc := NewScratch(p.col)
+	for j2 := 0; j2 < p.N2; j2++ {
+		col := buf[j2*p.N1 : (j2+1)*p.N1]
+		p.col.TransformWith(col, p.wCol, sc)
+		TwiddleScale(col, p.wBig, j2, p.N)
+	}
+	p.ScatterColumns(data, buf)
+	sc = NewScratch(p.row)
+	for k1 := 0; k1 < p.N1; k1++ {
+		p.row.TransformWith(data[k1*p.N2:(k1+1)*p.N2], p.wRow, sc)
+	}
+	p.FinalTranspose(buf, data)
+	copy(data, buf)
+}
+
+// InverseTransform applies the inverse FFT in place via the conjugation
+// identity — the same trick Plan.InverseTransform uses, so
+// Transform/InverseTransform round-trip to the input.
+func (p *FourStepPlan) InverseTransform(data []complex128) {
+	for i, v := range data {
+		data[i] = complex(real(v), -imag(v))
+	}
+	p.Transform(data)
+	inv := 1 / float64(p.N)
+	for i, v := range data {
+		data[i] = complex(real(v)*inv, -imag(v)*inv)
+	}
+}
+
+func (p *FourStepPlan) checkLen(what string, s []complex128) {
+	if len(s) != p.N {
+		panic(LengthError(what, len(s), p.N))
+	}
+}

@@ -1,0 +1,195 @@
+package fft_test
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"codeletfft/internal/fft"
+)
+
+// fourStepFactorizations lists the (n1, n2) splits the property suite
+// sweeps for a given N: near-square plus both 4×-skewed shapes, the
+// same mix the cluster coordinator may choose.
+func fourStepFactorizations(n int) [][2]int {
+	logN := fft.Log2(n)
+	var fs [][2]int
+	seen := map[[2]int]bool{}
+	for _, l1 := range []int{logN / 2, logN/2 - 1, logN/2 + 1} {
+		if l1 < 1 || logN-l1 < 1 {
+			continue
+		}
+		f := [2]int{1 << l1, 1 << (logN - l1)}
+		if !seen[f] {
+			seen[f] = true
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+func randComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+// TestFourStepMatchesPlanTransform is the acceptance property: across
+// every N = n1·n2 up to 2^20 and ≥3 factorizations per N, the
+// four-step output matches Plan.Transform within 1e-12 relative to the
+// input scale.
+func TestFourStepMatchesPlanTransform(t *testing.T) {
+	for lg := 2; lg <= 20; lg += 2 {
+		n := 1 << lg
+		pl, err := fft.NewPlan(n, min(64, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := fft.Twiddles(n)
+		x := randComplex(n, int64(lg))
+		want := append([]complex128(nil), x...)
+		pl.Transform(want, w)
+		for _, f := range fourStepFactorizations(n) {
+			fs, err := fft.NewFourStep(f[0], f[1])
+			if err != nil {
+				t.Fatalf("NewFourStep(%d, %d): %v", f[0], f[1], err)
+			}
+			got := append([]complex128(nil), x...)
+			fs.Transform(got)
+			// Tolerance scales with N: both algorithms accumulate
+			// O(log N) rounding on bins of magnitude ~sqrt(N).
+			if e := fft.MaxError(got, want); e > 1e-12*float64(n) {
+				t.Errorf("N=2^%d %dx%d: four-step vs staged error %g", lg, f[0], f[1], e)
+			}
+		}
+	}
+}
+
+func TestFourStepRoundTrip(t *testing.T) {
+	for _, f := range [][2]int{{4, 8}, {16, 16}, {8, 128}, {256, 64}} {
+		fs, err := fft.NewFourStep(f[0], f[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randComplex(fs.N, 7)
+		data := append([]complex128(nil), x...)
+		fs.Transform(data)
+		fs.InverseTransform(data)
+		if e := fft.MaxError(data, x); e > 1e-9 {
+			t.Errorf("%dx%d: round-trip error %g", f[0], f[1], e)
+		}
+	}
+}
+
+// TestFourStepLinearity: FFT(a·x + b·y) = a·FFT(x) + b·FFT(y).
+func TestFourStepLinearity(t *testing.T) {
+	fs, err := fft.NewFourStep(32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fs.N
+	x, y := randComplex(n, 11), randComplex(n, 12)
+	a, b := complex(1.5, -0.25), complex(-2.0, 0.75)
+	mix := make([]complex128, n)
+	for i := range mix {
+		mix[i] = a*x[i] + b*y[i]
+	}
+	fs.Transform(mix)
+	fs.Transform(x)
+	fs.Transform(y)
+	want := make([]complex128, n)
+	for i := range want {
+		want[i] = a*x[i] + b*y[i]
+	}
+	if e := fft.MaxError(mix, want); e > 1e-9*float64(n) {
+		t.Errorf("linearity violated: error %g", e)
+	}
+}
+
+// TestFourStepImpulse: the transform of a shifted impulse is the
+// analytic exponential ω^{shift·k}.
+func TestFourStepImpulse(t *testing.T) {
+	fs, err := fft.NewFourStep(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fs.N
+	const shift = 5
+	data := make([]complex128, n)
+	data[shift] = 1
+	fs.Transform(data)
+	for k := range data {
+		ang := -2 * math.Pi * float64(shift*k%n) / float64(n)
+		want := cmplx.Exp(complex(0, ang))
+		if d := data[k] - want; math.Hypot(real(d), imag(d)) > 1e-10 {
+			t.Fatalf("impulse bin %d: got %v want %v", k, data[k], want)
+		}
+	}
+}
+
+func TestFourStepRejectsBadFactors(t *testing.T) {
+	for _, f := range [][2]int{{3, 8}, {8, 3}, {1, 16}, {16, 1}, {0, 0}, {-4, 4}} {
+		if _, err := fft.NewFourStep(f[0], f[1]); !errors.Is(err, fft.ErrNotPowerOfTwo) {
+			t.Errorf("NewFourStep(%d, %d) err = %v, want ErrNotPowerOfTwo", f[0], f[1], err)
+		}
+	}
+}
+
+func TestTwiddleScaleMatchesDirect(t *testing.T) {
+	const totalN = 256
+	w := fft.Twiddles(totalN)
+	for _, index := range []int{0, 1, 7, 128, 255, 300} {
+		col := randComplex(16, int64(index))
+		want := append([]complex128(nil), col...)
+		for k := range want {
+			ang := -2 * math.Pi * float64((index*k)%totalN) / float64(totalN)
+			want[k] *= cmplx.Exp(complex(0, ang))
+		}
+		fft.TwiddleScale(col, w, index, totalN)
+		if e := fft.MaxError(col, want); e > 1e-12 {
+			t.Errorf("index %d: twiddle-scale error %g", index, e)
+		}
+	}
+}
+
+// FuzzFourStepMatchesDirect fuzzes the factor split and the input and
+// checks the four-step output against the staged direct transform, then
+// the round trip back to the input.
+func FuzzFourStepMatchesDirect(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(1))
+	f.Add(make([]byte, 256), uint8(3))
+	f.Add([]byte{255, 0, 128, 64, 32, 16, 200, 100}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, split uint8) {
+		x, _ := fuzzInput(raw, 0)
+		if x == nil || len(x) < 4 {
+			t.Skip("input too short for a 2×2 split")
+		}
+		n := len(x)
+		logN := fft.Log2(n)
+		l1 := int(split)%(logN-1) + 1 // 1 … logN-1, both factors ≥ 2
+		fs, err := fft.NewFourStep(1<<l1, 1<<(logN-l1))
+		if err != nil {
+			t.Fatalf("NewFourStep(2^%d, 2^%d): %v", l1, logN-l1, err)
+		}
+		pl, err := fft.NewPlan(n, min(64, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]complex128(nil), x...)
+		pl.Transform(want, fft.Twiddles(n))
+		got := append([]complex128(nil), x...)
+		fs.Transform(got)
+		if e := fft.MaxError(got, want); e > 1e-9 {
+			t.Fatalf("N=%d split 2^%d: four-step vs direct error %g", n, l1, e)
+		}
+		fs.InverseTransform(got)
+		if e := fft.MaxError(got, x); e > 1e-9 {
+			t.Fatalf("N=%d split 2^%d: round-trip error %g", n, l1, e)
+		}
+	})
+}

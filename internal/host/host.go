@@ -36,6 +36,8 @@ const (
 	PassStage  = "stage"  // one butterfly stage
 	PassConj   = "conj"   // inverse-path conjugation sweep
 	PassScale  = "scale"  // inverse-path conjugate-and-scale sweep
+	PassRows   = "rows"   // 2-D row-FFT pass
+	PassCols   = "cols"   // 2-D column-FFT pass
 )
 
 // Observer receives execution telemetry from an Engine: one
@@ -250,12 +252,15 @@ func (e *Engine) Transform2D(p *fft.Plan2D, data []complex128) {
 		p.Transform(data)
 		return
 	}
+	t0 := e.passStart()
 	e.parallelFor(p.Rows, func(_, lo, hi int) {
 		sc := fft.NewScratch(p.RowPlan)
 		for r := lo; r < hi; r++ {
 			p.RowPlan.TransformWith(data[r*p.Cols:(r+1)*p.Cols], p.WRow, sc)
 		}
 	})
+	e.passDone(PassRows, t0)
+	t1 := e.passStart()
 	e.parallelFor(p.Cols, func(_, lo, hi int) {
 		sc := fft.NewScratch(p.ColPlan)
 		col := make([]complex128, p.Rows)
@@ -269,6 +274,7 @@ func (e *Engine) Transform2D(p *fft.Plan2D, data []complex128) {
 			}
 		}
 	})
+	e.passDone(PassCols, t1)
 }
 
 // InverseTransform2D applies the inverse 2-D FFT in place. Output is

@@ -71,6 +71,10 @@ type Config struct {
 	// Workers and TaskSize configure the plans the executor resolves
 	// (0 means the engine defaults: GOMAXPROCS workers, 64-point tasks).
 	Workers, TaskSize int
+	// EnableShard mounts the cluster shard-exec endpoint
+	// (POST /fft/shard), making this server a worker a dist
+	// coordinator can dispatch four-step segments to.
+	EnableShard bool
 	// Registry collects the server's instruments; New creates one when
 	// nil. The daemon publishes it at /metrics and through expvar.
 	Registry *metrics.Registry
@@ -135,9 +139,15 @@ type serverMetrics struct {
 	panics    *metrics.Counter
 	batches   *metrics.Counter
 
+	shardRequests *metrics.Counter
+	shardOK       *metrics.Counter
+	shardBad      *metrics.Counter
+	shardVecs     *metrics.Counter
+
 	occupancy  *metrics.Histogram
 	batchSec   *metrics.Histogram
 	requestSec *metrics.Histogram
+	shardSec   *metrics.Histogram
 }
 
 func newServerMetrics(r *metrics.Registry) serverMetrics {
@@ -153,9 +163,16 @@ func newServerMetrics(r *metrics.Registry) serverMetrics {
 		expired:    r.Counter("fft_expired_in_queue_total"),
 		panics:     r.Counter("fft_panics_total"),
 		batches:    r.Counter("fft_batches_total"),
+
+		shardRequests: r.Counter("shard_requests_total"),
+		shardOK:       r.Counter("shard_ok_total"),
+		shardBad:      r.Counter("shard_bad_total"),
+		shardVecs:     r.Counter("shard_vecs_total"),
+
 		occupancy:  r.Histogram("fft_batch_occupancy", metrics.ExpBuckets(1, 2, 11)), // 1 … 1024
 		batchSec:   r.Histogram("fft_batch_seconds", latency),
 		requestSec: r.Histogram("fft_request_seconds", latency),
+		shardSec:   r.Histogram("shard_exec_seconds", latency),
 	}
 }
 
@@ -255,6 +272,9 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /fft", s.handleJSON)
 	mux.HandleFunc("POST /fft/bin", s.handleBinary)
+	if cfg.EnableShard {
+		mux.HandleFunc("POST /fft/shard", s.handleShard)
+	}
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux = mux

@@ -1,0 +1,123 @@
+// The shard-exec endpoint is the worker half of the cluster path
+// (internal/dist): a coordinator four-steps a large transform and posts
+// the column/row segments here as shard frames. Each shard executes
+// synchronously through the same cached-plan batch engine the
+// coalescing path uses — one TransformBatch over the shard's vectors,
+// plus the twiddle-segment scaling for column shards — inside the
+// server's admission and drain accounting, so a draining worker refuses
+// shards with 503 exactly like client requests and Drain still proves
+// the queue empty.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"codeletfft"
+	"codeletfft/internal/cache"
+	"codeletfft/internal/fft"
+)
+
+// twiddleCache memoizes Twiddles(totalN) across column shards so a
+// worker computes each modulus' table once. Column shards of a few
+// transform sizes dominate real traffic, so 2×4 entries is ample; an
+// entry for N=2^22 is 32 MiB, which also argues for a small bound.
+var twiddleCache = cache.New[int, []complex128](2, 4, func(n int) uint64 {
+	h := uint64(n) * 0x9e3779b97f4a7c15
+	return h ^ h>>29
+})
+
+// handleShard executes one shard frame: decode, admit, batch-transform,
+// twiddle-scale (columns), respond with the canonical response frame.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.m.shardRequests.Inc()
+	defer func() { s.m.shardSec.Observe(time.Since(start).Seconds()) }()
+
+	if s.draining.Load() {
+		s.m.shedDrain.Inc()
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, shardHeaderLen+16*int64(MaxFrameElems))
+	raw, err := readAll(body)
+	if err != nil {
+		s.m.shardBad.Inc()
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	f, err := DecodeShardFrame(raw)
+	if err != nil {
+		s.m.shardBad.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if f.VecLen > s.cfg.MaxN {
+		s.m.shardBad.Inc()
+		http.Error(w, fmt.Sprintf("vector length %d exceeds served maximum %d", f.VecLen, s.cfg.MaxN),
+			http.StatusBadRequest)
+		return
+	}
+
+	// One admission token covers the whole shard: it is a single
+	// engine dispatch, and the token keeps Drain's empty-queue test
+	// meaning "nothing in flight" for shards too.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.m.shedQueue.Inc()
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-s.sem }()
+
+	if err := s.execShard(f); err != nil {
+		s.m.internal.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.m.shardOK.Inc()
+	s.m.shardVecs.Add(int64(f.VecCount()))
+	enc, err := EncodeShardFrame(f)
+	if err != nil {
+		s.m.internal.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(enc)
+}
+
+// execShard transforms the frame's vectors in place. A panic inside the
+// engine is converted to an error, the same isolation boundary the
+// batch executor draws.
+func (s *Server) execShard(f ShardFrame) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.panics.Inc()
+			err = fmt.Errorf("shard panic: %v", r)
+		}
+	}()
+	plan, err := codeletfft.CachedHostPlan(f.VecLen, s.planOpts...)
+	if err != nil {
+		return err
+	}
+	batch := make([][]complex128, f.VecCount())
+	for v := range batch {
+		batch[v] = f.Vec(v)
+	}
+	plan.TransformBatch(batch)
+	if f.Op == OpColumns {
+		w, err := twiddleCache.GetOrCreate(f.TotalN, func() ([]complex128, error) {
+			return fft.Twiddles(f.TotalN), nil
+		})
+		if err != nil {
+			return err
+		}
+		for v := range batch {
+			fft.TwiddleScale(batch[v], w, f.Start+v, f.TotalN)
+		}
+	}
+	return nil
+}

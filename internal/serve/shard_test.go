@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"codeletfft/internal/fft"
+)
+
+func randVecs(vecLen, vecCount int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]complex128, vecLen*vecCount)
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return data
+}
+
+func TestShardFrameRoundTrip(t *testing.T) {
+	frames := []ShardFrame{
+		{Op: OpColumns, VecLen: 8, TotalN: 64, Start: 2, Data: randVecs(8, 3, 1)},
+		{Op: OpColumns, VecLen: 4, TotalN: 16, Start: 0, Data: randVecs(4, 4, 2)},
+		{Op: OpRows, VecLen: 16, Start: 5, Data: randVecs(16, 2, 3)},
+	}
+	for _, f := range frames {
+		enc, err := EncodeShardFrame(f)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", f.Op, err)
+		}
+		dec, err := DecodeShardFrame(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", f.Op, err)
+		}
+		if dec.Op != f.Op || dec.VecLen != f.VecLen || dec.TotalN != f.TotalN || dec.Start != f.Start {
+			t.Fatalf("%s: header mismatch: %+v", f.Op, dec)
+		}
+		for i := range f.Data {
+			if math.Float64bits(real(dec.Data[i])) != math.Float64bits(real(f.Data[i])) ||
+				math.Float64bits(imag(dec.Data[i])) != math.Float64bits(imag(f.Data[i])) {
+				t.Fatalf("%s: payload differs at %d", f.Op, i)
+			}
+		}
+		re, err := EncodeShardFrame(dec)
+		if err != nil || !bytes.Equal(re, enc) {
+			t.Fatalf("%s: re-encode is not canonical (err %v)", f.Op, err)
+		}
+	}
+}
+
+func TestShardFrameRejects(t *testing.T) {
+	good := ShardFrame{Op: OpColumns, VecLen: 8, TotalN: 64, Start: 0, Data: randVecs(8, 2, 4)}
+	enc, err := EncodeShardFrame(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"bad magic":         func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version":       func(b []byte) []byte { b[4] = 9; return b },
+		"bad op":            func(b []byte) []byte { b[5] = 200; return b },
+		"reserved byte":     func(b []byte) []byte { b[6] = 1; return b },
+		"truncated payload": func(b []byte) []byte { return b[:len(b)-8] },
+		"trailing bytes":    func(b []byte) []byte { return append(b, 0) },
+		"truncated header":  func(b []byte) []byte { return b[:10] },
+		"vecLen not pow2":   func(b []byte) []byte { b[8] = 7; return b },
+	}
+	for name, corrupt := range cases {
+		b := corrupt(append([]byte(nil), enc...))
+		if _, err := DecodeShardFrame(b); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+
+	// Encoder-side rejects.
+	encCases := []ShardFrame{
+		{Op: OpRows, VecLen: 8, TotalN: 64, Data: randVecs(8, 1, 5)},               // rows with totalN
+		{Op: OpColumns, VecLen: 8, TotalN: 60, Data: randVecs(8, 1, 5)},            // totalN not pow2
+		{Op: OpColumns, VecLen: 8, TotalN: 16, Start: 1, Data: randVecs(8, 2, 5)},  // start+count > columns
+		{Op: OpColumns, VecLen: 3, TotalN: 64, Data: randVecs(3, 1, 5)},            // vecLen not pow2
+		{Op: shardOpCount, VecLen: 8, TotalN: 64, Data: randVecs(8, 1, 5)},         // unknown op
+		{Op: OpRows, VecLen: 8, Data: nil},                                         // no vectors
+		{Op: OpRows, VecLen: 8, Data: randVecs(1, 12, 5)},                          // ragged payload
+	}
+	for i, f := range encCases {
+		if _, err := EncodeShardFrame(f); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("encode case %d: err = %v, want ErrBadFrame", i, err)
+		}
+	}
+}
+
+// TestShardEndpointExecutesFourStepSegments drives the worker endpoint
+// with the column and row shards of a real four-step transform and
+// checks the reassembled result against the serial reference.
+func TestShardEndpointExecutesFourStepSegments(t *testing.T) {
+	s := New(Config{EnableShard: true, Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n1, n2 = 16, 32
+	fs, err := fft.NewFourStep(n1, n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVecs(fs.N, 1, 9)
+	want := append([]complex128(nil), x...)
+	fs.Transform(want)
+
+	post := func(f ShardFrame) ShardFrame {
+		t.Helper()
+		enc, err := EncodeShardFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/fft/shard", "application/octet-stream", bytes.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := readAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("shard status %d: %s", resp.StatusCode, raw)
+		}
+		out, err := DecodeShardFrame(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Columns in two shards, rows in one, transposes done locally —
+	// exactly the coordinator's steps.
+	buf := make([]complex128, fs.N)
+	data := append([]complex128(nil), x...)
+	fs.GatherColumns(buf, data)
+	half := n2 / 2 * n1
+	c0 := post(ShardFrame{Op: OpColumns, VecLen: n1, TotalN: fs.N, Start: 0, Data: buf[:half]})
+	c1 := post(ShardFrame{Op: OpColumns, VecLen: n1, TotalN: fs.N, Start: n2 / 2, Data: buf[half:]})
+	copy(buf, c0.Data)
+	copy(buf[half:], c1.Data)
+	fs.ScatterColumns(data, buf)
+	r0 := post(ShardFrame{Op: OpRows, VecLen: n2, Start: 0, Data: data})
+	fs.FinalTranspose(buf, r0.Data)
+
+	if e := fft.MaxError(buf, want); e > 1e-9 {
+		t.Fatalf("shard-executed four-step vs serial reference error %g", e)
+	}
+	snap := s.Registry().Snapshot()
+	if got := snap["shard_requests_total"]; got != 3 {
+		t.Errorf("shard_requests_total = %v, want 3", got)
+	}
+	if got := snap["shard_ok_total"]; got != 3 {
+		t.Errorf("shard_ok_total = %v, want 3", got)
+	}
+	if got := snap["shard_vecs_total"]; got != float64(n2+n1) {
+		t.Errorf("shard_vecs_total = %v, want %d", got, n2+n1)
+	}
+}
+
+func TestShardEndpointDisabledByDefault(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	f := ShardFrame{Op: OpRows, VecLen: 8, Data: randVecs(8, 1, 1)}
+	enc, _ := EncodeShardFrame(f)
+	resp, err := http.Post(ts.URL+"/fft/shard", "application/octet-stream", bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("shard endpoint on non-worker: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestShardEndpointShedsWhileDraining(t *testing.T) {
+	s := New(Config{EnableShard: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.StartDrain()
+	f := ShardFrame{Op: OpRows, VecLen: 8, Data: randVecs(8, 1, 1)}
+	enc, _ := EncodeShardFrame(f)
+	resp, err := http.Post(ts.URL+"/fft/shard", "application/octet-stream", bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining shard: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// FuzzShardFrame pins the codec's safety properties: decoding arbitrary
+// bytes never panics, and any frame that decodes re-encodes to exactly
+// the input bytes (canonical encoding).
+func FuzzShardFrame(f *testing.F) {
+	seed := ShardFrame{Op: OpColumns, VecLen: 4, TotalN: 16, Start: 1, Data: randVecs(4, 2, 6)}
+	if enc, err := EncodeShardFrame(seed); err == nil {
+		f.Add(enc)
+	}
+	rows := ShardFrame{Op: OpRows, VecLen: 2, Start: 0, Data: randVecs(2, 3, 7)}
+	if enc, err := EncodeShardFrame(rows); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte(shardMagic))
+	f.Add(bytes.Repeat([]byte{0}, shardHeaderLen))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		dec, err := DecodeShardFrame(raw)
+		if err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("decode error does not wrap ErrBadFrame: %v", err)
+			}
+			return
+		}
+		re, err := EncodeShardFrame(dec)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, raw) {
+			t.Fatalf("re-encoding is not canonical:\n in: %x\nout: %x", raw, re)
+		}
+	})
+}

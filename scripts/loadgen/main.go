@@ -7,6 +7,16 @@
 //	go run ./cmd/fftserved &
 //	go run ./scripts/loadgen -addr http://localhost:8080 -clients 200 -duration 5s
 //
+// With -cluster the target is a fftcluster coordinator instead: the
+// mix shifts to large complex transforms (the four-step sweet spot),
+// real-input kinds are dropped (the cluster path is complex-only), and
+// the final scrape reports the coordinator's retry/hedge/degradation
+// counters — so a run against a coordinator with -hedge set doubles as
+// a hedging smoke test:
+//
+//	go run ./cmd/fftcluster -workers ... -hedge 2ms &
+//	go run ./scripts/loadgen -cluster -addr http://localhost:9100 -clients 8
+//
 // Shed responses (429 queue-full, 503 draining) are counted separately
 // from failures: under deliberate overload they are the daemon working
 // as designed, not an error.
@@ -31,6 +41,18 @@ import (
 	"codeletfft/internal/serve"
 )
 
+// flagSet reports whether the named flag was given explicitly on the
+// command line (as opposed to holding its default).
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
 // retryable reports whether a transport error is the keep-alive
 // shutdown race (server closed a pooled connection under our write)
 // rather than a request the server actually saw.
@@ -50,8 +72,21 @@ func main() {
 		sizeList = flag.String("sizes", "1024,4096,16384", "comma-separated transform lengths to mix")
 		realFrac = flag.Float64("real", 0.25, "fraction of requests using the real-input kind")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+		clusterT = flag.Bool("cluster", false, "target a fftcluster coordinator: large-N complex mix, dist_* metrics scrape")
 	)
 	flag.Parse()
+
+	if *clusterT {
+		// The cluster path serves complex frames only, and pays off at
+		// sizes worth factoring four-step; respect explicit overrides.
+		*realFrac = 0
+		if !flagSet("sizes") {
+			*sizeList = "65536,262144,1048576"
+		}
+		if !flagSet("timeout") {
+			*timeout = 30 * time.Second
+		}
+	}
 
 	var sizes []int
 	for _, s := range strings.Split(*sizeList, ",") {
@@ -189,6 +224,16 @@ func main() {
 		"fft_responses_shed_queue_total", "fft_responses_shed_drain_total",
 		"fft_responses_deadline_total", "fft_queue_depth",
 		"plan_cache_len", "engine_batch_occupancy_mean",
+	}
+	if *clusterT {
+		interesting = []string{
+			"cluster_requests_total", "cluster_ok_total", "cluster_shed_total",
+			"dist_transforms_total", "dist_shards_total",
+			"dist_rpc_attempts_total", "dist_rpc_errors_total",
+			"dist_retries_total", "dist_hedges_total", "dist_hedge_wins_total",
+			"dist_degraded_total", "dist_local_shards_total",
+			"dist_workers_eligible", "dist_workers_total",
+		}
 	}
 	for _, line := range strings.Split(string(raw), "\n") {
 		for _, name := range interesting {
