@@ -208,13 +208,17 @@ func BenchmarkHostTransform(b *testing.B) {
 }
 
 // benchHost measures one forward+inverse round trip per iteration of the
-// host FFT library (no machine simulation), serially or on the parallel
-// engine. The round trip keeps magnitudes bounded across iterations so
-// the same buffer can be reused.
+// host FFT library (no machine simulation), on a one-worker plan or the
+// full parallel engine. The round trip keeps magnitudes bounded across
+// iterations so the same buffer can be reused.
 func benchHost(b *testing.B, logN int, parallel bool) {
 	b.Helper()
 	n := 1 << logN
-	h, err := codeletfft.NewHostPlan(n, codeletfft.WithTaskSize(64))
+	opts := []codeletfft.HostOption{codeletfft.WithTaskSize(64)}
+	if !parallel {
+		opts = append(opts, codeletfft.WithWorkers(1))
+	}
+	h, err := codeletfft.NewHostPlan(n, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -222,13 +226,8 @@ func benchHost(b *testing.B, logN int, parallel bool) {
 	b.SetBytes(int64(n) * 16 * 2) // forward + inverse
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if parallel {
-			h.ParallelTransform(data)
-			h.ParallelInverse(data)
-		} else {
-			h.Transform(data)
-			h.Inverse(data)
-		}
+		_ = h.Transform(data)
+		_ = h.Inverse(data)
 	}
 }
 
@@ -271,18 +270,18 @@ func BenchmarkHostBatch(b *testing.B) {
 		b.SetBytes(bytes)
 		for i := 0; i < b.N; i++ {
 			for _, d := range batch {
-				h.ParallelTransform(d)
+				_ = h.Transform(d)
 			}
 			for _, d := range batch {
-				h.ParallelInverse(d)
+				_ = h.Inverse(d)
 			}
 		}
 	})
 	b.Run("batch", func(b *testing.B) {
 		b.SetBytes(bytes)
 		for i := 0; i < b.N; i++ {
-			h.TransformBatch(batch)
-			h.InverseBatch(batch)
+			_ = h.TransformBatch(batch)
+			_ = h.InverseBatch(batch)
 		}
 	})
 }
@@ -312,22 +311,54 @@ func BenchmarkHostReal(b *testing.B) {
 			for j := range data {
 				data[j] = complex(x[j], 0)
 			}
-			h.Transform(data)
+			_ = h.Transform(data)
 		}
 	})
 	b.Run("real", func(b *testing.B) {
-		spec := make([]complex128, n/2+1)
-		if err := h.RealTransform(spec, x); err != nil {
+		rp, err := codeletfft.CachedRealPlan(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := make([]complex128, rp.SpectrumLen())
+		if err := rp.Transform(spec, x); err != nil {
 			b.Fatal(err)
 		}
 		b.SetBytes(int64(n) * 16 * 2)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := h.RealTransform(spec, x); err != nil {
+			if err := rp.Transform(spec, x); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+}
+
+// BenchmarkHostKernels measures each butterfly kernel family on the
+// parallel engine at N=2^20, plus the autotuned default ("auto"), as a
+// forward+inverse round trip. This is the table behind the kernel
+// autotuner: whichever family wins here is what KernelAuto resolves to
+// for this shape on this machine:
+//
+//	go test -bench BenchmarkHostKernels -benchtime 3x
+func BenchmarkHostKernels(b *testing.B) {
+	const n = 1 << 20
+	kernels := append([]codeletfft.Kernel{codeletfft.KernelAuto}, codeletfft.Kernels()...)
+	for _, k := range kernels {
+		b.Run(k.String(), func(b *testing.B) {
+			h, err := codeletfft.NewHostPlan(n,
+				codeletfft.WithTaskSize(64), codeletfft.WithKernel(k))
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := noise(n, 1)
+			b.SetBytes(int64(n) * 16 * 2) // forward + inverse
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = h.Transform(data)
+				_ = h.Inverse(data)
+			}
+		})
+	}
 }
 
 // BenchmarkCluster contrasts the single-node parallel transform
@@ -350,7 +381,7 @@ func BenchmarkCluster(b *testing.B) {
 		b.SetBytes(int64(n) * 16)
 		for i := 0; i < b.N; i++ {
 			copy(scratch, data)
-			h.ParallelTransform(scratch)
+			_ = h.Transform(scratch)
 		}
 	})
 	for _, workers := range []int{1, 2, 4} {
@@ -365,7 +396,7 @@ func BenchmarkCluster(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				copy(scratch, data)
-				if err := cl.Transform(ctx, scratch); err != nil {
+				if err := cl.TransformCtx(ctx, scratch); err != nil {
 					b.Fatal(err)
 				}
 			}

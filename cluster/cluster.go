@@ -13,10 +13,13 @@
 //	defer cl.Close()
 //	data := make([]complex128, 1<<16)
 //	// ... fill data ...
-//	_ = cl.Transform(context.Background(), data)
+//	_ = cl.TransformCtx(context.Background(), data)
 //
-// The heavy lifting lives in internal/dist; this package pins the
-// supported surface while the internals keep evolving.
+// A Cluster implements codeletfft.Plan, so code written against that
+// interface moves between a host plan and a cluster unchanged; the
+// context-free methods run under context.Background(). The heavy
+// lifting lives in internal/dist; this package pins the supported
+// surface while the internals keep evolving.
 package cluster
 
 import (
@@ -25,9 +28,14 @@ import (
 	"strings"
 	"time"
 
+	"codeletfft"
 	"codeletfft/internal/dist"
 	"codeletfft/internal/serve"
 )
+
+// A Cluster is a codeletfft.Plan: the same interface the host plans
+// implement, backed by the worker set instead of local goroutines.
+var _ codeletfft.Plan = (*Cluster)(nil)
 
 // Config tunes a Cluster. The zero value is usable: no workers means
 // every transform runs locally (fully degraded but correct).
@@ -59,6 +67,13 @@ type Config struct {
 	// Factor overrides the four-step split for a given N; nil picks the
 	// near-square power-of-two split.
 	Factor func(n int) (n1, n2 int)
+
+	// LocalKernel selects the butterfly kernel for degraded (local)
+	// execution and locally run shards. The zero value resolves to
+	// radix-2; the coordinator never runs tuning measurements on the
+	// request path. Workers pick their own kernel via `fftserved
+	// -kernel`.
+	LocalKernel codeletfft.Kernel
 }
 
 func (c Config) dist() dist.Config {
@@ -71,6 +86,7 @@ func (c Config) dist() dist.Config {
 		HedgeDelay:    c.HedgeDelay,
 		ShardTimeout:  c.ShardTimeout,
 		Factor:        c.Factor,
+		LocalKernel:   c.LocalKernel,
 	}
 }
 
@@ -115,16 +131,51 @@ func NewLoopback(nWorkers int, cfg Config) (*Cluster, error) {
 	return &Cluster{co: co}, nil
 }
 
-// Transform applies the forward FFT to data in place. len(data) must be
-// a power of two ≥ 4. The output matches the single-node transform
-// within floating-point tolerance.
-func (c *Cluster) Transform(ctx context.Context, data []complex128) error {
+// TransformCtx applies the forward FFT to data in place, honoring ctx
+// throughout the shard RPCs. len(data) must be a power of two ≥ 4. The
+// output matches the single-node transform within floating-point
+// tolerance.
+func (c *Cluster) TransformCtx(ctx context.Context, data []complex128) error {
 	return c.co.Transform(ctx, data)
 }
 
-// Inverse applies the inverse FFT in place.
-func (c *Cluster) Inverse(ctx context.Context, data []complex128) error {
+// InverseCtx applies the inverse FFT in place, honoring ctx.
+func (c *Cluster) InverseCtx(ctx context.Context, data []complex128) error {
 	return c.co.Inverse(ctx, data)
+}
+
+// Transform is TransformCtx under context.Background().
+func (c *Cluster) Transform(data []complex128) error {
+	return c.co.Transform(context.Background(), data)
+}
+
+// Inverse is InverseCtx under context.Background().
+func (c *Cluster) Inverse(data []complex128) error {
+	return c.co.Inverse(context.Background(), data)
+}
+
+// TransformBatch applies the forward FFT to every row of batch. Rows
+// are dispatched sequentially (each one already fans out across the
+// worker set); a failed row aborts the batch with an error naming its
+// batch index.
+func (c *Cluster) TransformBatch(batch [][]complex128) error {
+	for i, d := range batch {
+		if err := c.co.Transform(context.Background(), d); err != nil {
+			return fmt.Errorf("batch element %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// InverseBatch applies the inverse FFT to every row of batch; see
+// TransformBatch.
+func (c *Cluster) InverseBatch(batch [][]complex128) error {
+	for i, d := range batch {
+		if err := c.co.Inverse(context.Background(), d); err != nil {
+			return fmt.Errorf("batch element %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // Close stops the cluster's background loops.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/cmplx"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"codeletfft"
@@ -31,7 +32,7 @@ func TestLoopbackClusterMatchesSingleNode(t *testing.T) {
 		t.Fatal(err)
 	}
 	hp.ParallelTransform(want)
-	if err := cl.Transform(context.Background(), data); err != nil {
+	if err := cl.TransformCtx(context.Background(), data); err != nil {
 		t.Fatal(err)
 	}
 	for i := range data {
@@ -67,10 +68,10 @@ func TestLoopbackClusterRoundTrip(t *testing.T) {
 	}
 	data := append([]complex128(nil), orig...)
 	ctx := context.Background()
-	if err := cl.Transform(ctx, data); err != nil {
+	if err := cl.TransformCtx(ctx, data); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Inverse(ctx, data); err != nil {
+	if err := cl.InverseCtx(ctx, data); err != nil {
 		t.Fatal(err)
 	}
 	for i := range data {
@@ -83,5 +84,65 @@ func TestLoopbackClusterRoundTrip(t *testing.T) {
 func TestNewLoopbackRejectsZeroWorkers(t *testing.T) {
 	if _, err := cluster.NewLoopback(0, cluster.Config{}); err == nil {
 		t.Fatal("NewLoopback(0) succeeded")
+	}
+}
+
+// TestClusterImplementsPlan drives the cluster through the unified
+// codeletfft.Plan interface — the context-free methods and the batch
+// path — exactly as interface-generic serving code would.
+func TestClusterImplementsPlan(t *testing.T) {
+	cl, err := cluster.NewLoopback(2, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var p codeletfft.Plan = cl
+
+	const n = 1 << 10
+	rng := rand.New(rand.NewSource(3))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	data := append([]complex128(nil), x...)
+	if err := p.Transform(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inverse(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if d := cmplx.Abs(data[i] - x[i]); d > 1e-10 {
+			t.Fatalf("roundtrip bin %d deviates by %g", i, d)
+		}
+	}
+
+	batch := [][]complex128{
+		append([]complex128(nil), x...),
+		append([]complex128(nil), x...),
+	}
+	if err := p.TransformBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InverseBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch[0] {
+		if d := cmplx.Abs(batch[0][i] - batch[1][i]); d > 0 {
+			t.Fatalf("batch rows disagree at %d", i)
+		}
+	}
+
+	// A bad row's error names its batch index.
+	err = p.TransformBatch([][]complex128{x, make([]complex128, 100)})
+	if err == nil || !strings.Contains(err.Error(), "batch element 1") {
+		t.Fatalf("bad batch row error %v does not name element 1", err)
+	}
+
+	// Canceled contexts surface through the ctx variants.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.TransformCtx(ctx, data); err == nil {
+		t.Fatal("TransformCtx ignored a canceled context")
 	}
 }

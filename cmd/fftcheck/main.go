@@ -2,7 +2,9 @@
 // across a matrix of transform lengths and codelet sizes, comparing each
 // simulated run's output against an independent reference FFT; checks
 // that the parallel host engine's output is bitwise identical to the
-// serial host path on the same matrix; checks the serving-path APIs
+// serial host path on the same matrix; checks every butterfly kernel
+// family (radix-2, radix-4, split-radix) against the reference DFT and
+// against each other; checks the serving-path APIs
 // (TransformBatch against a transform loop, the real-input path against
 // the complex reference); and checks the distributed four-step path (a
 // 3-worker loopback cluster against the single-node parallel transform
@@ -72,6 +74,7 @@ func main() {
 	fmt.Printf("\nworst error %.3g across %d runs\n", worst, len(tb.Rows))
 
 	failures += checkHostEngine(*minLog, *maxLog, *seed, *workers)
+	failures += checkKernels(*minLog, *maxLog, *seed, *workers)
 	failures += checkBatchAndReal(*minLog, *maxLog, *seed, *workers)
 	failures += checkDist(*minLog, *maxLog, *seed)
 
@@ -79,6 +82,94 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fftcheck: %d failures\n", failures)
 		os.Exit(1)
 	}
+}
+
+// checkKernels verifies every butterfly kernel family against the
+// reference DFT — an O(n²) evaluation independent of every FFT code
+// path (capped at 2^14; the recursive FFT stands in as reference
+// beyond that) — and against the radix-2 family, per the documented
+// normalization: a fixed (plan, kernel) pair is bitwise deterministic,
+// different kernels agree to rounding. Returns the failure count.
+func checkKernels(minLog, maxLog int, seed int64, workers int) int {
+	const dftCapLog = 14
+	tb := &report.Table{Headers: []string{"N", "kernel", "vs reference", "vs radix-2", "roundtrip"}}
+	failures := 0
+	for lg := minLog; lg <= maxLog; lg += 2 {
+		n := 1 << lg
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		var ref []complex128
+		if lg <= dftCapLog {
+			ref = codeletfft.DFT(x)
+		} else {
+			ref = codeletfft.FFT(x)
+		}
+		var scale float64
+		for _, v := range ref {
+			if m := math.Hypot(real(v), imag(v)); m > scale {
+				scale = m
+			}
+		}
+		r2, err := codeletfft.NewHostPlan(n,
+			codeletfft.WithKernel(codeletfft.KernelRadix2),
+			codeletfft.WithWorkers(workers), codeletfft.WithThreshold(1))
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "fftcheck: kernels N=2^%d: %v\n", lg, err)
+			continue
+		}
+		base := append([]complex128(nil), x...)
+		_ = r2.Transform(base)
+		for _, k := range codeletfft.Kernels() {
+			h, err := codeletfft.NewHostPlan(n,
+				codeletfft.WithKernel(k),
+				codeletfft.WithWorkers(workers), codeletfft.WithThreshold(1))
+			if err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "fftcheck: kernel %v N=2^%d: %v\n", k, lg, err)
+				continue
+			}
+			data := append([]complex128(nil), x...)
+			_ = h.Transform(data)
+			var vsRef, vsR2 float64
+			for i := range data {
+				if d := data[i] - ref[i]; true {
+					if v := math.Hypot(real(d), imag(d)); v > vsRef {
+						vsRef = v
+					}
+				}
+				if d := data[i] - base[i]; true {
+					if v := math.Hypot(real(d), imag(d)); v > vsR2 {
+						vsR2 = v
+					}
+				}
+			}
+			vsRef /= scale
+			vsR2 /= scale
+			_ = h.Inverse(data)
+			var rt float64
+			for i := range data {
+				d := data[i] - x[i]
+				if v := math.Hypot(real(d), imag(d)); v > rt {
+					rt = v
+				}
+			}
+			if vsRef > 1e-9 || vsR2 > 1e-9 || rt > 1e-9 {
+				failures++
+			}
+			tb.AddRow(fmt.Sprintf("2^%d", lg), k.String(),
+				fmt.Sprintf("%.3g", vsRef), fmt.Sprintf("%.3g", vsR2), fmt.Sprintf("%.3g", rt))
+		}
+	}
+	fmt.Printf("\nkernel families vs reference DFT (relative, DFT capped at 2^%d):\n\n", dftCapLog)
+	if err := tb.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fftcheck:", err)
+		os.Exit(1)
+	}
+	return failures
 }
 
 // checkDist verifies the cluster path: a 3-worker loopback cluster
@@ -125,7 +216,7 @@ func checkDist(minLog, maxLog int, seed int64) int {
 			h.ParallelTransform(want)
 
 			got := append([]complex128(nil), x...)
-			if err := cl.Transform(ctx, got); err != nil {
+			if err := cl.TransformCtx(ctx, got); err != nil {
 				failures++
 				fmt.Fprintf(os.Stderr, "fftcheck: dist N=2^%d %dx%d: %v\n", lg, n1, n2, err)
 				cl.Close()
@@ -138,7 +229,7 @@ func checkDist(minLog, maxLog int, seed int64) int {
 					worst = v
 				}
 			}
-			if err := cl.Inverse(ctx, got); err != nil {
+			if err := cl.InverseCtx(ctx, got); err != nil {
 				failures++
 				fmt.Fprintf(os.Stderr, "fftcheck: dist inverse N=2^%d %dx%d: %v\n", lg, n1, n2, err)
 				cl.Close()
@@ -199,14 +290,14 @@ func checkBatchAndReal(minLog, maxLog int, seed int64, workers int) int {
 				batch[t][i] = complex(rng.NormFloat64(), rng.NormFloat64())
 			}
 			want[t] = append([]complex128(nil), batch[t]...)
-			h.Transform(want[t])
+			_ = h.Transform(want[t])
 		}
-		h.TransformBatch(batch)
+		_ = h.TransformBatch(batch)
 		exact := batchEqualBits(batch, want)
 		for t := range want {
-			h.Inverse(want[t])
+			_ = h.Inverse(want[t])
 		}
-		h.InverseBatch(batch)
+		_ = h.InverseBatch(batch)
 		exact = exact && batchEqualBits(batch, want)
 
 		// Real-input path against the complex reference.
@@ -222,7 +313,7 @@ func checkBatchAndReal(minLog, maxLog int, seed int64, workers int) int {
 			fmt.Fprintf(os.Stderr, "fftcheck: rfft N=2^%d: %v\n", lg, err)
 			continue
 		}
-		h.Transform(wide)
+		_ = h.Transform(wide)
 		var specErr float64
 		for k := range spec {
 			d := spec[k] - wide[k]
@@ -302,7 +393,7 @@ func checkHostEngine(minLog, maxLog int, seed int64, workers int) int {
 				x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
 			}
 			serial := append([]complex128(nil), x...)
-			h.Transform(serial)
+			_ = h.Transform(serial)
 			par := append([]complex128(nil), x...)
 			h.ParallelTransform(par)
 

@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"codeletfft"
 	"codeletfft/internal/dist"
 	"codeletfft/internal/metrics"
 	"codeletfft/internal/serve"
@@ -132,9 +133,15 @@ func main() {
 		inflight    = flag.Int("max-inflight", dist.DefaultMaxInflight, "concurrent shard RPCs per transform")
 		timeout     = flag.Duration("timeout", 60*time.Second, "per-request deadline")
 		localW      = flag.Int("local-workers", 0, "goroutines for degraded local execution (0 = GOMAXPROCS)")
+		kernelName  = flag.String("local-kernel", "radix2", "butterfly kernel for degraded local execution: radix2, radix4, splitradix")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
 	)
 	flag.Parse()
+
+	kern, err := codeletfft.ParseKernel(*kernelName)
+	if err != nil {
+		log.Fatalf("-local-kernel: %v", err)
+	}
 
 	var workerList []string
 	for _, w := range strings.Split(*workers, ",") {
@@ -153,6 +160,7 @@ func main() {
 		ShardTimeout:  *shardTO,
 		MaxInflight:   *inflight,
 		LocalWorkers:  *localW,
+		LocalKernel:   kern,
 	})
 	if err != nil {
 		log.Fatalf("fftcluster: %v", err)

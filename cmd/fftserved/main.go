@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"codeletfft"
 	"codeletfft/internal/serve"
 )
 
@@ -44,8 +45,14 @@ func main() {
 		taskSize   = flag.Int("task", 0, "P-point kernel size (0 = engine default, 64)")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
 		worker     = flag.Bool("worker", false, "serve POST /fft/shard so a fftcluster coordinator can dispatch four-step segments here")
+		kernelName = flag.String("kernel", "auto", "butterfly kernel: auto, radix2, radix4, splitradix (auto tunes per shape on first use and memoizes)")
 	)
 	flag.Parse()
+
+	kern, err := codeletfft.ParseKernel(*kernelName)
+	if err != nil {
+		log.Fatalf("-kernel: %v", err)
+	}
 
 	s := serve.New(serve.Config{
 		MinN:           *minN,
@@ -57,6 +64,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		Workers:        *workers,
 		TaskSize:       *taskSize,
+		Kernel:         kern,
 		EnableShard:    *worker,
 	})
 	s.Registry().Publish("fftserved")
@@ -79,8 +87,8 @@ func main() {
 	if *worker {
 		mode = " worker-mode"
 	}
-	log.Printf("fftserved listening on %s%s (window=%v max-batch=%d queue=%d N=[%d,%d])",
-		*addr, mode, *window, *maxBatch, *queue, *minN, *maxN)
+	log.Printf("fftserved listening on %s%s (window=%v max-batch=%d queue=%d N=[%d,%d] kernel=%v)",
+		*addr, mode, *window, *maxBatch, *queue, *minN, *maxN, kern)
 
 	select {
 	case err := <-errCh:

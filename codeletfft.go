@@ -22,38 +22,55 @@
 //	res, err := codeletfft.Run(opts)
 //	// res.GFLOPS, res.BankSkew(), res.Output ...
 //
-// The staged kernels are also a plain host FFT library. HostPlan runs
-// them serially or — the real-hardware counterpart to the paper's
-// fine-grain scheduling — sharded across goroutines, one chunk of each
-// stage's independent butterfly tasks per worker. Plans are built with
-// functional options; every knob has a sensible default:
+// The staged kernels are also a plain host FFT library, fronted by one
+// interface: Plan. Every provider — a host plan, a cached host plan,
+// the cluster client — implements the same six methods (Transform,
+// Inverse, TransformBatch, InverseBatch, and the context-aware
+// TransformCtx/InverseCtx), so code written against Plan moves between
+// single-node and sharded execution unchanged:
+//
+//	one-shot   h, _ := codeletfft.NewHostPlan(1<<20)          h.Transform(data)
+//	batched    h, _ := codeletfft.NewHostPlan(n)              h.TransformBatch(batch)
+//	real       r, _ := codeletfft.NewRealPlan(n)              r.Transform(spec, x)
+//	cached     h, _ := codeletfft.CachedHostPlan(n)           h.Transform(data)
+//	cluster    cl, _ := cluster.New(cluster.Config{...})      cl.TransformCtx(ctx, data)
+//
+// Plans are built with functional options; every knob has a default:
 //
 //	h, err := codeletfft.NewHostPlan(1<<20,
-//	    codeletfft.WithTaskSize(64),     // P-point kernels (default 64)
-//	    codeletfft.WithWorkers(8),       // default GOMAXPROCS
-//	    codeletfft.WithThreshold(1<<13)) // serial below this size
-//	h.ParallelTransform(data) // bitwise identical to h.Transform(data)
+//	    codeletfft.WithTaskSize(64),      // P-point kernels (default 64)
+//	    codeletfft.WithWorkers(8),        // default GOMAXPROCS
+//	    codeletfft.WithThreshold(1<<13),  // serial below this size
+//	    codeletfft.WithKernel(codeletfft.KernelAuto)) // the default
 //
-// Serving workloads get three more paths on the same engine:
-// TransformBatch/InverseBatch push many same-size transforms through
-// one worker-pool dispatch with zero steady-state allocation;
-// RealTransform/RealInverse handle real-valued signals via a packed
-// N/2-point transform at about twice the complex path's speed; and
-// CachedHostPlan memoizes plan cores in a process-wide, sharded,
-// size-bounded cache so plans can be resolved per request:
+// Three butterfly kernel families run on the same staged decomposition:
+// radix-2 (the paper's formulation), radix-4 (three-multiply
+// butterflies), and split-radix (the lowest multiplication count).
+// WithKernel pins one; KernelAuto — the default — races the candidates
+// on the plan's exact (N, task size, workers) shape at first use and
+// memoizes the winner process-wide, so later plans of the same shape
+// skip the measurement. For a fixed plan and kernel, serial, parallel,
+// and batched execution are bitwise identical; different kernels agree
+// to rounding (about 1e-9 relative error at N=2^12).
 //
-//	h, err := codeletfft.CachedHostPlan(n, codeletfft.WithWorkers(8))
-//	h.TransformBatch(batch)            // [][]complex128, each length N
-//	err = h.RealTransform(spec, x)     // x []float64; N/2+1 Hermitian bins
+// Serving workloads lean on the same engine: TransformBatch pushes many
+// same-size transforms through one worker-pool dispatch with zero
+// steady-state allocation; RealPlan handles real-valued signals via a
+// packed N/2-point transform at about twice the complex path's speed;
+// CachedHostPlan and CachedRealPlan memoize plans in process-wide,
+// sharded, size-bounded caches keyed by (N, task size, kernel) so plans
+// can be resolved per request.
 //
 // Construction errors wrap the sentinels ErrNotPowerOfTwo and
 // ErrBadTaskSize; wrong-length slices panic with an error wrapping
-// ErrLengthMismatch. ParallelTransform falls back to the serial path
-// below the threshold (default 8192 elements), where dispatch overhead
-// would dominate. The parallel engine is hardened by fuzz targets
-// (internal/fft: FuzzTransformRoundTrip, FuzzParallelMatchesSerial,
-// FuzzRealRoundTrip), a metamorphic property suite (linearity,
-// Parseval, impulse and shift theorems over every plan shape),
+// ErrLengthMismatch (for batches, the error names the offending row's
+// index). Host plans always return a nil error from Plan methods —
+// the error return exists for transport-backed providers like the
+// cluster client. The engine is hardened by fuzz targets (internal/fft:
+// FuzzTransformRoundTrip, FuzzParallelMatchesSerial, FuzzRealRoundTrip,
+// FuzzKernelParity), a metamorphic property suite (linearity, Parseval,
+// impulse and shift theorems over every plan shape), a cross-kernel
+// parity suite (every kernel vs the reference DFT at every size),
 // allocation guards on the batched path, and a `go test -race` CI gate.
 package codeletfft
 

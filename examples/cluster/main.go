@@ -49,7 +49,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hp.ParallelTransform(want)
+	if err := hp.Transform(want); err != nil {
+		log.Fatal(err)
+	}
 
 	// The same transform through the cluster: gathered into columns,
 	// column FFTs + twiddles and row FFTs dispatched as shard RPCs to
@@ -57,7 +59,7 @@ func main() {
 	data := append([]complex128(nil), signal...)
 	ctx := context.Background()
 	start := time.Now()
-	if err := cl.Transform(ctx, data); err != nil {
+	if err := cl.TransformCtx(ctx, data); err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -72,7 +74,7 @@ func main() {
 		*logN, *workers, elapsed, worst)
 
 	// Round trip back to the input.
-	if err := cl.Inverse(ctx, data); err != nil {
+	if err := cl.InverseCtx(ctx, data); err != nil {
 		log.Fatal(err)
 	}
 	var rt float64
@@ -103,7 +105,7 @@ func main() {
 	}
 	defer down.Close()
 	deg := append([]complex128(nil), signal...)
-	if err := down.Transform(ctx, deg); err != nil {
+	if err := down.TransformCtx(ctx, deg); err != nil {
 		log.Fatal(err)
 	}
 	var degWorst float64

@@ -1,10 +1,12 @@
 // Example parallelhost times the host FFT library serially and on the
 // parallel worker-pool engine — the real-hardware counterpart to the
 // paper's fine-grain scheduling story — and verifies the two paths agree
-// bitwise.
+// bitwise. Parallelism is a plan property, so the comparison builds a
+// one-worker plan and a many-worker plan pinned to the same butterfly
+// kernel; -kernel auto lets the autotuner pick the family first.
 //
 //	go run ./examples/parallelhost            # N=2^20, GOMAXPROCS workers
-//	go run ./examples/parallelhost -logn 22 -workers 4
+//	go run ./examples/parallelhost -logn 22 -workers 4 -kernel splitradix
 package main
 
 import (
@@ -21,17 +23,32 @@ import (
 
 func main() {
 	var (
-		logN    = flag.Int("logn", 20, "transform length: N=2^logn")
-		p       = flag.Int("p", 64, "task size (points per butterfly kernel)")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		reps    = flag.Int("reps", 3, "timed repetitions (best is reported)")
+		logN       = flag.Int("logn", 20, "transform length: N=2^logn")
+		p          = flag.Int("p", 64, "task size (points per butterfly kernel)")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		reps       = flag.Int("reps", 3, "timed repetitions (best is reported)")
+		kernelName = flag.String("kernel", "auto", "butterfly kernel: auto, radix2, radix4, splitradix")
 	)
 	flag.Parse()
 
 	n := 1 << *logN
+	kern, err := codeletfft.ParseKernel(*kernelName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	h, err := codeletfft.NewHostPlan(n,
 		codeletfft.WithTaskSize(*p),
-		codeletfft.WithWorkers(*workers))
+		codeletfft.WithWorkers(*workers),
+		codeletfft.WithKernel(kern))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Kernel() resolves "auto" to the tuned concrete family; pinning the
+	// serial plan to the same family keeps the bitwise comparison honest.
+	hs, err := codeletfft.NewHostPlan(n,
+		codeletfft.WithTaskSize(*p),
+		codeletfft.WithWorkers(1),
+		codeletfft.WithKernel(h.Kernel()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,10 +60,10 @@ func main() {
 	}
 
 	serialOut := append([]complex128(nil), x...)
-	tSerial := best(*reps, func() { copy(serialOut, x); h.Transform(serialOut) })
+	tSerial := best(*reps, func() { copy(serialOut, x); _ = hs.Transform(serialOut) })
 
 	parallelOut := append([]complex128(nil), x...)
-	tParallel := best(*reps, func() { copy(parallelOut, x); h.ParallelTransform(parallelOut) })
+	tParallel := best(*reps, func() { copy(parallelOut, x); _ = h.Transform(parallelOut) })
 
 	for i := range parallelOut {
 		if math.Float64bits(real(parallelOut[i])) != math.Float64bits(real(serialOut[i])) ||
@@ -58,7 +75,7 @@ func main() {
 	gflops := func(d time.Duration) float64 {
 		return 5 * float64(n) * float64(*logN) / d.Seconds() / 1e9
 	}
-	fmt.Printf("N=2^%d P=%d on %d CPUs, %d workers\n", *logN, *p, runtime.NumCPU(), h.Workers())
+	fmt.Printf("N=2^%d P=%d kernel=%v on %d CPUs, %d workers\n", *logN, *p, h.Kernel(), runtime.NumCPU(), h.Workers())
 	fmt.Printf("  serial    %10v  (%.2f GFLOPS)\n", tSerial, gflops(tSerial))
 	fmt.Printf("  parallel  %10v  (%.2f GFLOPS)\n", tParallel, gflops(tParallel))
 	fmt.Printf("  speedup   %.2fx  (outputs bitwise identical)\n",

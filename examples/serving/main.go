@@ -76,18 +76,30 @@ func main() {
 		}
 	}
 	start := time.Now()
-	h.TransformBatch(reqs)
-	h.InverseBatch(reqs)
+	if err := h.TransformBatch(reqs); err != nil {
+		log.Fatal(err)
+	}
+	if err := h.InverseBatch(reqs); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("batched %d × N=2^%d forward+inverse in %v (%d workers)\n",
 		*batch, *logN, time.Since(start), h.Workers())
 
-	// A real-valued signal through the packed half-size path.
+	// A real-valued signal through the packed half-size path, via the
+	// typed RealPlan facade (shares the cached half-size core).
+	rp, err := codeletfft.CachedRealPlan(n,
+		codeletfft.WithWorkers(*workers),
+		codeletfft.WithThreshold(1),
+		codeletfft.WithObserver(obs))
+	if err != nil {
+		log.Fatal(err)
+	}
 	x := make([]float64, n)
 	for i := range x {
 		x[i] = math.Sin(2*math.Pi*float64(i)*5/float64(n)) + 0.5*rng.NormFloat64()
 	}
-	spec := make([]complex128, n/2+1)
-	if err := h.RealTransform(spec, x); err != nil {
+	spec := make([]complex128, rp.SpectrumLen())
+	if err := rp.Transform(spec, x); err != nil {
 		log.Fatal(err)
 	}
 	peak, peakMag := 0, 0.0
@@ -97,7 +109,7 @@ func main() {
 		}
 	}
 	back := make([]float64, n)
-	if err := h.RealInverse(back, spec); err != nil {
+	if err := rp.Inverse(back, spec); err != nil {
 		log.Fatal(err)
 	}
 	var rt float64

@@ -1,11 +1,14 @@
 package codeletfft
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"codeletfft/internal/cache"
 	"codeletfft/internal/fft"
 	"codeletfft/internal/host"
+	"codeletfft/internal/tune"
 )
 
 // Sentinel errors re-exported from the core package so callers can test
@@ -25,12 +28,63 @@ var (
 	ErrLengthMismatch = fft.ErrLengthMismatch
 )
 
+// Kernel selects the butterfly factorization a plan runs: KernelAuto
+// (the default) lets the autotuner race the concrete kernels for the
+// plan's (N, task size, workers) shape on first use and memoize the
+// winner; the other values pin one factorization. All kernels compute
+// the same DFT over the same staged decomposition — outputs of one plan
+// are bitwise deterministic, outputs of different kernels agree to
+// rounding.
+type Kernel = fft.Kernel
+
+// Kernel values for WithKernel.
+const (
+	KernelAuto       = fft.KernelAuto
+	KernelRadix2     = fft.KernelRadix2
+	KernelRadix4     = fft.KernelRadix4
+	KernelSplitRadix = fft.KernelSplitRadix
+)
+
+// Kernels lists the concrete (executable) kernels in a stable order —
+// the candidate set KernelAuto picks from.
+func Kernels() []Kernel { return fft.ConcreteKernels() }
+
+// ParseKernel maps kernel names ("auto", "radix2", "radix4",
+// "splitradix"; case-insensitive, "split-radix" accepted) to Kernel
+// values — the -kernel flag parser of the daemons.
+func ParseKernel(s string) (Kernel, error) { return fft.ParseKernel(s) }
+
+// Plan is the one interface every transform provider implements: host
+// plans (NewHostPlan), cached host plans (CachedHostPlan), and the
+// cluster client (cluster.New) alike. Methods transform in place.
+//
+// Host plans never return errors from these methods — invalid lengths
+// are programming errors and panic (wrapping ErrLengthMismatch) — while
+// the cluster client surfaces transport failures; code written against
+// Plan handles the error and works unchanged against either.
+//
+// The Ctx variants check the context before starting; once a transform
+// is running it completes (data is never left torn mid-transform).
+// Providers with genuinely cancellable work (the cluster client) honor
+// the context throughout.
+type Plan interface {
+	Transform(data []complex128) error
+	Inverse(data []complex128) error
+	TransformBatch(batch [][]complex128) error
+	InverseBatch(batch [][]complex128) error
+	TransformCtx(ctx context.Context, data []complex128) error
+	InverseCtx(ctx context.Context, data []complex128) error
+}
+
+var _ Plan = (*HostPlan)(nil)
+
 // hostOpts is the resolved option set for plan construction.
 type hostOpts struct {
 	taskSize  int
 	workers   int
 	threshold int
 	observer  EngineObserver
+	kern      Kernel
 }
 
 // EngineObserver receives execution telemetry from a plan's parallel
@@ -41,7 +95,8 @@ type hostOpts struct {
 // serving daemon backs one with atomic histogram instruments.
 type EngineObserver = host.Observer
 
-// HostOption configures NewHostPlan, NewHostPlan2D, and CachedHostPlan.
+// HostOption configures NewHostPlan, NewHostPlan2D, NewRealPlan, and
+// their Cached variants.
 type HostOption func(*hostOpts)
 
 // WithTaskSize selects the P-point kernel size of the staged
@@ -54,7 +109,7 @@ func WithTaskSize(p int) HostOption {
 }
 
 // WithWorkers sets the goroutine count of the parallel engine behind
-// ParallelTransform, TransformBatch, and friends. 0 (the default) means
+// Transform, TransformBatch, and friends. 0 (the default) means
 // GOMAXPROCS.
 func WithWorkers(n int) HostOption {
 	return func(o *hostOpts) { o.workers = n }
@@ -74,6 +129,16 @@ func WithThreshold(n int) HostOption {
 // per-pass latency instead of being measured from outside.
 func WithObserver(obs EngineObserver) HostOption {
 	return func(o *hostOpts) { o.observer = obs }
+}
+
+// WithKernel pins the butterfly kernel (KernelRadix2, KernelRadix4,
+// KernelSplitRadix) or requests autotuned selection (KernelAuto, the
+// default): on the plan's first transform the candidates are raced once
+// on this plan's exact execution configuration and the winner is
+// memoized process-wide per (N, task size, workers) — later plans of
+// the same shape reuse it without measuring.
+func WithKernel(k Kernel) HostOption {
+	return func(o *hostOpts) { o.kern = k }
 }
 
 func resolveOpts(n int, opts []HostOption) hostOpts {
@@ -119,14 +184,17 @@ func (c *hostCore) realPlan() (*fft.RealPlan, error) {
 	return c.real, c.realErr
 }
 
-// planKey identifies a cached core: the transform length and the task
-// size fully determine the decomposition and twiddle table.
+// planKey identifies a cached core: transform length, task size, and
+// the requested kernel (including KernelAuto — an Auto plan and a
+// pinned plan are distinct cache entries, so pinning a kernel for one
+// caller can never change what another caller's Auto plan resolved).
 type planKey struct {
 	n, p int
+	kern Kernel
 }
 
 func planKeyHash(k planKey) uint64 {
-	h := uint64(k.n)*0x9e3779b97f4a7c15 ^ uint64(k.p)*0xbf58476d1ce4e5b9
+	h := uint64(k.n)*0x9e3779b97f4a7c15 ^ uint64(k.p)*0xbf58476d1ce4e5b9 ^ uint64(k.kern)*0xff51afd7ed558ccd
 	h ^= h >> 29
 	h *= 0x94d049bb133111eb
 	return h ^ h>>32
@@ -136,6 +204,10 @@ func planKeyHash(k planKey) uint64 {
 // 16 entries bounds it at 128 cores; serving workloads use a handful of
 // sizes, so eviction is rare in practice.
 var planCache = cache.New[planKey, *hostCore](8, 16, planKeyHash)
+
+// realCache memoizes real-input plans across CachedRealPlan calls,
+// bounded the same way as planCache.
+var realCache = cache.New[planKey, *fft.RealPlan](8, 16, planKeyHash)
 
 // PlanCacheLen reports how many plan cores CachedHostPlan currently
 // retains — an observability hook for serving systems.
@@ -147,67 +219,57 @@ func PlanCacheLen() int { return planCache.Len() }
 // counts as a hit; one that starts construction counts as a miss.
 func PlanCacheStats() (hits, misses int64) { return planCache.Stats() }
 
-// ParallelConfig tunes the parallel host execution engine behind
-// HostPlan.ParallelTransform and friends.
-//
-// Deprecated: pass WithWorkers and WithThreshold to NewHostPlan instead.
-type ParallelConfig struct {
-	// Workers is the number of goroutines per parallel pass; 0 means
-	// GOMAXPROCS.
-	Workers int
-	// Threshold is the minimum element count for which the parallel path
-	// engages — smaller transforms fall back to the serial path, where
-	// dispatch overhead would dominate. 0 means the package default
-	// (8192); 1 forces parallel execution at every size.
-	Threshold int
-}
-
 // HostPlan exposes the staged FFT decomposition for direct numeric use on
 // the host, without the machine simulation: the same kernels the
 // simulated codelets execute, callable as a plain FFT library.
 //
-// A HostPlan is immutable after construction (SetParallel replaces the
-// engine wholesale), so one plan may serve concurrent Transform,
-// ParallelTransform, or TransformBatch calls on distinct data arrays.
+// A HostPlan is immutable after construction, so one plan may serve
+// concurrent Transform or TransformBatch calls on distinct data arrays.
+// Transform runs on the plan's parallel engine — sharded across workers
+// above the threshold, serial below it, bitwise identical either way.
 type HostPlan struct {
 	core *hostCore
 	eng  *host.Engine
-	obs  EngineObserver // retained so SetParallel keeps the observer
+	opts hostOpts
+	kern atomic.Int32 // resolved concrete kernel; 0 until first use
 }
 
 // NewHostPlan builds a host-side plan for n-point transforms. By
-// default it uses 64-point kernels (clamped to n) and a GOMAXPROCS
-// parallel engine; functional options override each knob:
+// default it uses 64-point kernels (clamped to n), a GOMAXPROCS
+// parallel engine, and autotuned kernel selection; functional options
+// override each knob:
 //
 //	p, err := codeletfft.NewHostPlan(1<<20,
 //	    codeletfft.WithTaskSize(64),
 //	    codeletfft.WithWorkers(8),
-//	    codeletfft.WithThreshold(1<<13))
+//	    codeletfft.WithKernel(codeletfft.KernelSplitRadix))
 func NewHostPlan(n int, opts ...HostOption) (*HostPlan, error) {
 	o := resolveOpts(n, opts)
 	core, err := newHostCore(n, o.taskSize)
 	if err != nil {
 		return nil, err
 	}
-	return &HostPlan{core: core, eng: o.engine(), obs: o.observer}, nil
+	return &HostPlan{core: core, eng: o.engine(), opts: o}, nil
 }
 
 // CachedHostPlan is NewHostPlan backed by a process-wide, size-bounded,
-// concurrency-safe plan cache keyed by (n, task size). Repeated calls
-// for one shape share the stage decomposition and twiddle table —
+// concurrency-safe plan cache keyed by (n, task size, kernel). Repeated
+// calls for one shape share the stage decomposition and twiddle table —
 // concurrent first calls run plan construction once (single-flight) —
 // so serving code can call it per request instead of hand-managing
 // plan lifetimes. The engine options (WithWorkers, WithThreshold) are
-// still applied per returned plan.
+// still applied per returned plan, and an Auto plan's tuned kernel is
+// memoized per (n, task size, workers), so a cache-resolved plan never
+// re-measures a shape the process has already tuned.
 func CachedHostPlan(n int, opts ...HostOption) (*HostPlan, error) {
 	o := resolveOpts(n, opts)
-	core, err := planCache.GetOrCreate(planKey{n: n, p: o.taskSize}, func() (*hostCore, error) {
+	core, err := planCache.GetOrCreate(planKey{n: n, p: o.taskSize, kern: o.kern}, func() (*hostCore, error) {
 		return newHostCore(n, o.taskSize)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &HostPlan{core: core, eng: o.engine(), obs: o.observer}, nil
+	return &HostPlan{core: core, eng: o.engine(), opts: o}, nil
 }
 
 // N returns the transform length.
@@ -219,55 +281,111 @@ func (h *HostPlan) TaskSize() int { return h.core.pl.P }
 // Workers returns the worker count the parallel engine resolved.
 func (h *HostPlan) Workers() int { return h.eng.Workers() }
 
-// SetParallel reconfigures the parallel engine, preserving any observer
-// attached with WithObserver. Call before handing the plan to concurrent
-// users.
+// Kernel returns the concrete kernel this plan runs, resolving
+// KernelAuto through the autotuner if no transform has run yet.
+func (h *HostPlan) Kernel() Kernel { return h.kernel() }
+
+// kernel resolves the plan's concrete kernel on first use. For a pinned
+// kernel this is a plain conversion; for KernelAuto it asks the tuner,
+// which memoizes per (N, task size, workers) process-wide and runs the
+// measurement single-flight. The measurement drives an observer-free
+// engine with this plan's workers and threshold, so tuning runs don't
+// pollute serving telemetry.
+func (h *HostPlan) kernel() fft.Kernel {
+	if k := h.kern.Load(); k != 0 {
+		return fft.Kernel(k)
+	}
+	k := resolveKernel(h.opts, h.core.pl, h.core.w)
+	h.kern.Store(int32(k))
+	return k
+}
+
+func resolveKernel(o hostOpts, pl *fft.Plan, w []complex128) fft.Kernel {
+	if o.kern != fft.KernelAuto {
+		return o.kern.Concrete()
+	}
+	meas := host.New(host.Config{Workers: o.workers, Threshold: o.threshold})
+	return tune.Resolve(
+		tune.Key{N: pl.N, TaskSize: pl.P, Workers: meas.Workers()},
+		fft.ConcreteKernels(),
+		func(k fft.Kernel, data []complex128) { meas.TransformKernel(pl, data, w, k) })
+}
+
+// Transform applies the forward FFT in place on the plan's parallel
+// engine (serial below the threshold; bitwise identical either way).
+// len(data) must equal N; a mismatch panics with an error wrapping
+// ErrLengthMismatch. The returned error is always nil for host plans —
+// it exists so HostPlan satisfies Plan alongside the cluster client.
+func (h *HostPlan) Transform(data []complex128) error {
+	h.eng.TransformKernel(h.core.pl, data, h.core.w, h.kernel())
+	return nil
+}
+
+// Inverse applies the inverse FFT in place. See Transform for the
+// error and panic contract.
+func (h *HostPlan) Inverse(data []complex128) error {
+	h.eng.InverseTransformKernel(h.core.pl, data, h.core.w, h.kernel())
+	return nil
+}
+
+// TransformCtx is Transform with a pre-flight context check: a done
+// context returns its error without touching data; once the transform
+// starts it runs to completion (in-place data is never left torn).
+func (h *HostPlan) TransformCtx(ctx context.Context, data []complex128) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return h.Transform(data)
+}
+
+// InverseCtx is Inverse with a pre-flight context check.
+func (h *HostPlan) InverseCtx(ctx context.Context, data []complex128) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return h.Inverse(data)
+}
+
+// ParallelTransform applies the forward FFT in place.
 //
-// Deprecated: pass WithWorkers and WithThreshold to NewHostPlan instead.
-func (h *HostPlan) SetParallel(cfg ParallelConfig) {
-	h.eng = host.New(host.Config{Workers: cfg.Workers, Threshold: cfg.Threshold, Observer: h.obs})
-}
+// Deprecated: Transform now runs on the parallel engine; this is an
+// alias kept for one release.
+func (h *HostPlan) ParallelTransform(data []complex128) { _ = h.Transform(data) }
 
-// Transform applies the forward FFT in place. len(data) must equal N;
-// a mismatch panics with an error wrapping ErrLengthMismatch.
-func (h *HostPlan) Transform(data []complex128) { h.core.pl.Transform(data, h.core.w) }
-
-// Inverse applies the inverse FFT in place.
-func (h *HostPlan) Inverse(data []complex128) { h.core.pl.InverseTransform(data, h.core.w) }
-
-// ParallelTransform applies the forward FFT in place, sharding each
-// stage's butterfly tasks across the engine's workers (serial fallback
-// below the threshold). Output is bitwise identical to Transform.
-func (h *HostPlan) ParallelTransform(data []complex128) { h.eng.Transform(h.core.pl, data, h.core.w) }
-
-// ParallelInverse applies the inverse FFT in place on the parallel
-// engine. Output is bitwise identical to Inverse.
-func (h *HostPlan) ParallelInverse(data []complex128) {
-	h.eng.InverseTransform(h.core.pl, data, h.core.w)
-}
+// ParallelInverse applies the inverse FFT in place.
+//
+// Deprecated: Inverse now runs on the parallel engine; this is an
+// alias kept for one release.
+func (h *HostPlan) ParallelInverse(data []complex128) { _ = h.Inverse(data) }
 
 // TransformBatch applies the forward FFT in place to every transform in
 // batch through one worker-pool dispatch: workers steal (transform,
 // task-chunk) units within each lockstep stage pass, so B transforms
 // cost the stage-barrier overhead of one. Every slice must have length
-// N (panics with ErrLengthMismatch otherwise). Output is bitwise
-// identical to calling Transform in a loop, and the steady-state path
-// performs no allocation.
-func (h *HostPlan) TransformBatch(batch [][]complex128) {
-	h.eng.TransformBatch(h.core.pl, batch, h.core.w)
+// N; a bad row panics with an error wrapping ErrLengthMismatch that
+// names the row's batch index. Output is bitwise identical to calling
+// Transform in a loop, and the steady-state path performs no
+// allocation.
+func (h *HostPlan) TransformBatch(batch [][]complex128) error {
+	h.eng.TransformBatchKernel(h.core.pl, batch, h.core.w, h.kernel())
+	return nil
 }
 
 // InverseBatch applies the inverse FFT in place to every transform in
 // batch through one worker-pool dispatch. Output is bitwise identical
 // to calling Inverse in a loop.
-func (h *HostPlan) InverseBatch(batch [][]complex128) {
-	h.eng.InverseBatch(h.core.pl, batch, h.core.w)
+func (h *HostPlan) InverseBatch(batch [][]complex128) error {
+	h.eng.InverseBatchKernel(h.core.pl, batch, h.core.w, h.kernel())
+	return nil
 }
 
 // RealTransform computes the forward FFT of the real input x (length N)
 // into spec (length N/2+1, the non-redundant Hermitian half) via one
-// N/2-point complex transform — roughly twice the speed of the complex
-// path. It errors for N < 4. spec[0] and spec[N/2] are exactly real.
+// N/2-point complex transform. It errors for N < 4.
+//
+// Deprecated: use NewRealPlan or CachedRealPlan, which run the packed
+// transform on the parallel engine with kernel selection. This wrapper
+// keeps the pre-redesign serial behavior for one release.
 func (h *HostPlan) RealTransform(spec []complex128, x []float64) error {
 	rp, err := h.core.realPlan()
 	if err != nil {
@@ -278,8 +396,10 @@ func (h *HostPlan) RealTransform(spec []complex128, x []float64) error {
 }
 
 // RealInverse recovers the real signal x (length N) from its Hermitian
-// half-spectrum spec (length N/2+1), inverting RealTransform. Only the
-// real parts of spec[0] and spec[N/2] are used.
+// half-spectrum spec (length N/2+1), inverting RealTransform.
+//
+// Deprecated: use NewRealPlan or CachedRealPlan. This wrapper keeps the
+// pre-redesign serial behavior for one release.
 func (h *HostPlan) RealInverse(x []float64, spec []complex128) error {
 	rp, err := h.core.realPlan()
 	if err != nil {
@@ -289,9 +409,9 @@ func (h *HostPlan) RealInverse(x []float64, spec []complex128) error {
 	return nil
 }
 
-// ParallelRealTransform is RealTransform with the inner N/2-point
-// complex transform run on the parallel engine. Output is bitwise
-// identical to RealTransform.
+// ParallelRealTransform is RealTransform on the parallel engine.
+//
+// Deprecated: use NewRealPlan or CachedRealPlan.
 func (h *HostPlan) ParallelRealTransform(spec []complex128, x []float64) error {
 	rp, err := h.core.realPlan()
 	if err != nil {
@@ -301,8 +421,9 @@ func (h *HostPlan) ParallelRealTransform(spec []complex128, x []float64) error {
 	return nil
 }
 
-// ParallelRealInverse is RealInverse on the parallel engine. Output is
-// bitwise identical to RealInverse.
+// ParallelRealInverse is RealInverse on the parallel engine.
+//
+// Deprecated: use NewRealPlan or CachedRealPlan.
 func (h *HostPlan) ParallelRealInverse(x []float64, spec []complex128) error {
 	rp, err := h.core.realPlan()
 	if err != nil {
@@ -312,11 +433,111 @@ func (h *HostPlan) ParallelRealInverse(x []float64, spec []complex128) error {
 	return nil
 }
 
-// HostPlan2D is the 2-D row-column analogue of HostPlan.
+// RealPlan transforms length-N real signals through the packed
+// N/2-point complex path on a parallel engine — the typed replacement
+// for HostPlan.RealTransform's loose spec argument. It is built with
+// the same HostOption set as HostPlan (task size, workers, threshold,
+// observer, kernel) and resolves its kernel the same way: autotuned on
+// first use under KernelAuto, pinned otherwise.
+//
+// A RealPlan is immutable after construction and safe for concurrent
+// use on distinct buffers.
+type RealPlan struct {
+	rp   *fft.RealPlan
+	eng  *host.Engine
+	opts hostOpts
+	kern atomic.Int32
+}
+
+// NewRealPlan builds a real-input plan for n-point transforms (n a
+// power of two ≥ 4).
+func NewRealPlan(n int, opts ...HostOption) (*RealPlan, error) {
+	o := resolveOpts(n, opts)
+	rp, err := fft.NewRealPlan(n, o.taskSize)
+	if err != nil {
+		return nil, err
+	}
+	return &RealPlan{rp: rp, eng: o.engine(), opts: o}, nil
+}
+
+// CachedRealPlan is NewRealPlan backed by a process-wide cache keyed by
+// (n, task size, kernel), sharing the packed plan and twiddle tables
+// across calls the way CachedHostPlan shares cores.
+func CachedRealPlan(n int, opts ...HostOption) (*RealPlan, error) {
+	o := resolveOpts(n, opts)
+	rp, err := realCache.GetOrCreate(planKey{n: n, p: o.taskSize, kern: o.kern}, func() (*fft.RealPlan, error) {
+		return fft.NewRealPlan(n, o.taskSize)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RealPlan{rp: rp, eng: o.engine(), opts: o}, nil
+}
+
+// N returns the real-input length.
+func (r *RealPlan) N() int { return r.rp.N }
+
+// SpectrumLen returns N/2+1, the half-spectrum buffer length Transform
+// fills and Inverse consumes.
+func (r *RealPlan) SpectrumLen() int { return r.rp.SpectrumLen() }
+
+// Workers returns the worker count the parallel engine resolved.
+func (r *RealPlan) Workers() int { return r.eng.Workers() }
+
+// Kernel returns the concrete kernel this plan runs, resolving
+// KernelAuto through the autotuner if no transform has run yet. The
+// tuning shape is the packed N/2-point half transform, so real and
+// complex plans of matching half shapes share one memoized winner.
+func (r *RealPlan) Kernel() Kernel { return r.kernel() }
+
+func (r *RealPlan) kernel() fft.Kernel {
+	if k := r.kern.Load(); k != 0 {
+		return fft.Kernel(k)
+	}
+	k := resolveKernel(r.opts, r.rp.Half, r.rp.WHalf)
+	r.kern.Store(int32(k))
+	return k
+}
+
+// Transform computes the half-spectrum of the length-N real signal x
+// into spec (length SpectrumLen). x is not modified; wrong-length
+// buffers panic with an error wrapping ErrLengthMismatch. The error is
+// always nil — it mirrors the Plan interface convention.
+func (r *RealPlan) Transform(spec []complex128, x []float64) error {
+	r.eng.RealTransformKernel(r.rp, spec, x, r.kernel())
+	return nil
+}
+
+// Inverse recovers the length-N real signal x from its half-spectrum
+// spec, inverting Transform. spec is not modified.
+func (r *RealPlan) Inverse(x []float64, spec []complex128) error {
+	r.eng.RealInverseKernel(r.rp, x, spec, r.kernel())
+	return nil
+}
+
+// TransformCtx is Transform with a pre-flight context check.
+func (r *RealPlan) TransformCtx(ctx context.Context, spec []complex128, x []float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return r.Transform(spec, x)
+}
+
+// InverseCtx is Inverse with a pre-flight context check.
+func (r *RealPlan) InverseCtx(ctx context.Context, x []float64, spec []complex128) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return r.Inverse(x, spec)
+}
+
+// HostPlan2D is the 2-D row-column analogue of HostPlan. Transform and
+// Inverse run on the plan's parallel engine with the plan's kernel.
 type HostPlan2D struct {
-	pl  *fft.Plan2D
-	eng *host.Engine
-	obs EngineObserver // retained so SetParallel keeps the observer
+	pl   *fft.Plan2D
+	eng  *host.Engine
+	opts hostOpts
+	kern atomic.Int32
 }
 
 // NewHostPlan2D builds a host-side plan for rows×cols transforms. It
@@ -328,35 +549,51 @@ func NewHostPlan2D(rows, cols int, opts ...HostOption) (*HostPlan2D, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &HostPlan2D{pl: pl, eng: o.engine(), obs: o.observer}, nil
-}
-
-// SetParallel reconfigures the parallel engine, preserving any observer
-// attached with WithObserver. Call before handing the plan to concurrent
-// users.
-//
-// Deprecated: pass WithWorkers and WithThreshold to NewHostPlan2D instead.
-func (h *HostPlan2D) SetParallel(cfg ParallelConfig) {
-	h.eng = host.New(host.Config{Workers: cfg.Workers, Threshold: cfg.Threshold, Observer: h.obs})
+	return &HostPlan2D{pl: pl, eng: o.engine(), opts: o}, nil
 }
 
 // Workers returns the worker count the parallel engine resolved.
 func (h *HostPlan2D) Workers() int { return h.eng.Workers() }
 
-// Transform applies the forward 2-D FFT in place (row-major data).
-func (h *HostPlan2D) Transform(data []complex128) { h.pl.Transform(data) }
+// Kernel returns the concrete kernel this plan runs. Auto resolution
+// tunes on the row transform's shape (the hotter of the two passes).
+func (h *HostPlan2D) Kernel() Kernel { return h.kernel() }
+
+func (h *HostPlan2D) kernel() fft.Kernel {
+	if k := h.kern.Load(); k != 0 {
+		return fft.Kernel(k)
+	}
+	k := resolveKernel(h.opts, h.pl.RowPlan, h.pl.WRow)
+	h.kern.Store(int32(k))
+	return k
+}
+
+// Transform applies the forward 2-D FFT in place (row-major data) on
+// the plan's parallel engine: rows sharded across workers, then
+// columns. The error is always nil; wrong-length data panics with an
+// error wrapping ErrLengthMismatch.
+func (h *HostPlan2D) Transform(data []complex128) error {
+	h.eng.Transform2DKernel(h.pl, data, h.kernel())
+	return nil
+}
 
 // Inverse applies the inverse 2-D FFT in place.
-func (h *HostPlan2D) Inverse(data []complex128) { h.pl.InverseTransform(data) }
+func (h *HostPlan2D) Inverse(data []complex128) error {
+	h.eng.InverseTransform2DKernel(h.pl, data, h.kernel())
+	return nil
+}
 
-// ParallelTransform applies the forward 2-D FFT in place, sharding rows
-// then columns across the engine's workers. Output is bitwise identical
-// to Transform.
-func (h *HostPlan2D) ParallelTransform(data []complex128) { h.eng.Transform2D(h.pl, data) }
+// ParallelTransform applies the forward 2-D FFT in place.
+//
+// Deprecated: Transform now runs on the parallel engine; this is an
+// alias kept for one release.
+func (h *HostPlan2D) ParallelTransform(data []complex128) { _ = h.Transform(data) }
 
-// ParallelInverse applies the inverse 2-D FFT in place on the parallel
-// engine. Output is bitwise identical to Inverse.
-func (h *HostPlan2D) ParallelInverse(data []complex128) { h.eng.InverseTransform2D(h.pl, data) }
+// ParallelInverse applies the inverse 2-D FFT in place.
+//
+// Deprecated: Inverse now runs on the parallel engine; this is an
+// alias kept for one release.
+func (h *HostPlan2D) ParallelInverse(data []complex128) { _ = h.Inverse(data) }
 
 // DFT computes the discrete Fourier transform directly in O(n²) — the
 // ground-truth reference (any length).

@@ -1,15 +1,20 @@
 package codeletfft_test
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"codeletfft"
 )
+
+// The facade's providers all satisfy the unified Plan interface.
+var _ codeletfft.Plan = (*codeletfft.HostPlan)(nil)
 
 func noise(n int, seed int64) []complex128 {
 	rng := rand.New(rand.NewSource(seed))
@@ -42,12 +47,16 @@ func TestHostPlanMatchesReference(t *testing.T) {
 	}
 	x := noise(n, 1)
 	data := append([]complex128(nil), x...)
-	h.Transform(data)
+	if err := h.Transform(data); err != nil {
+		t.Fatal(err)
+	}
 	want := codeletfft.FFT(x)
 	if e := maxErr(data, want); e > 1e-12 {
 		t.Fatalf("host plan error %g", e)
 	}
-	h.Inverse(data)
+	if err := h.Inverse(data); err != nil {
+		t.Fatal(err)
+	}
 	if e := maxErr(data, x); e > 1e-16 {
 		t.Fatalf("roundtrip error %g", e)
 	}
@@ -65,8 +74,9 @@ func TestHostPlanRejectsBadShape(t *testing.T) {
 	}
 }
 
-// sameBits reports whether a and b are bitwise-identical — the contract
-// ParallelTransform documents against Transform.
+// sameBits reports whether a and b are bitwise-identical — the
+// determinism contract a fixed (plan, kernel) pair documents across
+// serial, parallel, and batched execution.
 func sameBits(a, b []complex128) bool {
 	if len(a) != len(b) {
 		return false
@@ -80,51 +90,68 @@ func sameBits(a, b []complex128) bool {
 	return true
 }
 
+// TestHostPlanParallelMatchesSerial pins the facade-level determinism
+// guarantee per kernel: a single-worker plan and a multi-worker plan
+// with the same pinned kernel produce bitwise-identical output.
 func TestHostPlanParallelMatchesSerial(t *testing.T) {
 	n := 1 << 14
-	h, err := codeletfft.NewHostPlan(n, codeletfft.WithTaskSize(64))
-	if err != nil {
-		t.Fatal(err)
-	}
-	h.SetParallel(codeletfft.ParallelConfig{Workers: 4, Threshold: 1})
-	if h.Workers() != 4 {
-		t.Fatalf("Workers = %d after SetParallel", h.Workers())
-	}
-	x := noise(n, 5)
-	serial := append([]complex128(nil), x...)
-	h.Transform(serial)
-	par := append([]complex128(nil), x...)
-	h.ParallelTransform(par)
-	if !sameBits(par, serial) {
-		t.Fatal("ParallelTransform diverged from Transform")
-	}
-	h.ParallelInverse(par)
-	h.Inverse(serial)
-	if !sameBits(par, serial) {
-		t.Fatal("ParallelInverse diverged from Inverse")
-	}
-	if e := maxErr(par, x); e > 1e-16 {
-		t.Fatalf("parallel roundtrip error %g", e)
+	for _, k := range codeletfft.Kernels() {
+		serialPlan, err := codeletfft.NewHostPlan(n, codeletfft.WithWorkers(1), codeletfft.WithKernel(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parPlan, err := codeletfft.NewHostPlan(n,
+			codeletfft.WithWorkers(4), codeletfft.WithThreshold(1), codeletfft.WithKernel(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parPlan.Workers() != 4 {
+			t.Fatalf("Workers = %d, want 4", parPlan.Workers())
+		}
+		x := noise(n, 5)
+		serial := append([]complex128(nil), x...)
+		_ = serialPlan.Transform(serial)
+		par := append([]complex128(nil), x...)
+		_ = parPlan.Transform(par)
+		if !sameBits(par, serial) {
+			t.Fatalf("%v: parallel Transform diverged from serial", k)
+		}
+		_ = parPlan.Inverse(par)
+		_ = serialPlan.Inverse(serial)
+		if !sameBits(par, serial) {
+			t.Fatalf("%v: parallel Inverse diverged from serial", k)
+		}
+		if e := maxErr(par, x); e > 1e-16 {
+			t.Fatalf("%v: parallel roundtrip error %g", k, e)
+		}
 	}
 }
 
 func TestHostPlan2DParallelMatchesSerial(t *testing.T) {
-	h, err := codeletfft.NewHostPlan2D(64, 32, codeletfft.WithTaskSize(8))
-	if err != nil {
-		t.Fatal(err)
-	}
-	h.SetParallel(codeletfft.ParallelConfig{Workers: 3, Threshold: 1})
-	x := noise(64*32, 6)
-	serial := append([]complex128(nil), x...)
-	h.Transform(serial)
-	par := append([]complex128(nil), x...)
-	h.ParallelTransform(par)
-	if !sameBits(par, serial) {
-		t.Fatal("2-D ParallelTransform diverged from Transform")
-	}
-	h.ParallelInverse(par)
-	if e := maxErr(par, x); e > 1e-16 {
-		t.Fatalf("2-D parallel roundtrip error %g", e)
+	for _, k := range codeletfft.Kernels() {
+		hs, err := codeletfft.NewHostPlan2D(64, 32,
+			codeletfft.WithTaskSize(8), codeletfft.WithWorkers(1), codeletfft.WithKernel(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hp, err := codeletfft.NewHostPlan2D(64, 32,
+			codeletfft.WithTaskSize(8), codeletfft.WithWorkers(3),
+			codeletfft.WithThreshold(1), codeletfft.WithKernel(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := noise(64*32, 6)
+		serial := append([]complex128(nil), x...)
+		_ = hs.Transform(serial)
+		par := append([]complex128(nil), x...)
+		_ = hp.Transform(par)
+		if !sameBits(par, serial) {
+			t.Fatalf("%v: 2-D parallel Transform diverged from serial", k)
+		}
+		hp.ParallelInverse(par) // deprecated alias of Inverse
+		if e := maxErr(par, x); e > 1e-16 {
+			t.Fatalf("%v: 2-D parallel roundtrip error %g", k, e)
+		}
 	}
 }
 
@@ -135,10 +162,13 @@ func TestHostPlan2DRoundTrip(t *testing.T) {
 	}
 	x := noise(32*64, 2)
 	data := append([]complex128(nil), x...)
-	h.Transform(data)
-	h.Inverse(data)
+	_ = h.Transform(data)
+	_ = h.Inverse(data)
 	if e := maxErr(data, x); e > 1e-16 {
 		t.Fatalf("2-D roundtrip error %g", e)
+	}
+	if k := h.Kernel(); k == codeletfft.KernelAuto {
+		t.Fatal("2-D plan did not resolve a concrete kernel")
 	}
 }
 
@@ -188,6 +218,158 @@ func TestHostPlanOptionDefaults(t *testing.T) {
 	}
 }
 
+// TestWithKernelPinsSelection: WithKernel fixes the kernel without
+// tuning, every pinned kernel agrees with the radix-2 reference to
+// rounding, and KernelAuto resolves to a concrete kernel that the
+// tuner memoizes per shape.
+func TestWithKernelPinsSelection(t *testing.T) {
+	const n = 1 << 10
+	ref, err := codeletfft.NewHostPlan(n, codeletfft.WithKernel(codeletfft.KernelRadix2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := noise(n, 9)
+	want := append([]complex128(nil), x...)
+	_ = ref.Transform(want)
+	for _, k := range codeletfft.Kernels() {
+		h, err := codeletfft.NewHostPlan(n, codeletfft.WithKernel(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Kernel() != k {
+			t.Fatalf("Kernel() = %v, want %v", h.Kernel(), k)
+		}
+		data := append([]complex128(nil), x...)
+		_ = h.Transform(data)
+		for i := range data {
+			if d := data[i] - want[i]; math.Hypot(real(d), imag(d)) > 1e-9*math.Hypot(real(want[i]), imag(want[i]))+1e-9 {
+				t.Fatalf("%v diverged from radix-2 at bin %d", k, i)
+			}
+		}
+		_ = h.Inverse(data)
+		if e := maxErr(data, x); e > 1e-16 {
+			t.Fatalf("%v roundtrip error %g", k, e)
+		}
+	}
+
+	auto1, err := codeletfft.NewHostPlan(n, codeletfft.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto2, err := codeletfft.NewHostPlan(n, codeletfft.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := auto1.Kernel()
+	if k1 == codeletfft.KernelAuto {
+		t.Fatal("Auto plan did not resolve a concrete kernel")
+	}
+	// Same (N, taskSize, workers) shape → the memoized winner, not a
+	// fresh measurement that could disagree.
+	if k2 := auto2.Kernel(); k2 != k1 {
+		t.Fatalf("same-shape Auto plans resolved %v and %v", k1, k2)
+	}
+	a := append([]complex128(nil), x...)
+	b := append([]complex128(nil), x...)
+	_ = auto1.Transform(a)
+	_ = auto2.Transform(b)
+	if !sameBits(a, b) {
+		t.Fatal("same-shape Auto plans disagree bitwise")
+	}
+}
+
+// TestTransformCtx: the context-aware variants refuse a done context
+// without touching data and run normally otherwise.
+func TestTransformCtx(t *testing.T) {
+	const n = 256
+	h, err := codeletfft.NewHostPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := noise(n, 17)
+	data := append([]complex128(nil), x...)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := h.TransformCtx(ctx, data); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TransformCtx on canceled ctx = %v, want context.Canceled", err)
+	}
+	if !sameBits(data, x) {
+		t.Fatal("canceled TransformCtx modified data")
+	}
+	if err := h.InverseCtx(ctx, data); !errors.Is(err, context.Canceled) {
+		t.Fatalf("InverseCtx on canceled ctx = %v, want context.Canceled", err)
+	}
+
+	if err := h.TransformCtx(context.Background(), data); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]complex128(nil), x...)
+	_ = h.Transform(want)
+	if !sameBits(data, want) {
+		t.Fatal("TransformCtx diverged from Transform")
+	}
+	if err := h.InverseCtx(context.Background(), data); err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(data, x); e > 1e-16 {
+		t.Fatalf("ctx roundtrip error %g", e)
+	}
+}
+
+// TestPlanInterfaceUsage drives a HostPlan through the Plan interface
+// the way serving code does.
+func TestPlanInterfaceUsage(t *testing.T) {
+	var p codeletfft.Plan
+	h, err := codeletfft.NewHostPlan(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = h
+	x := noise(128, 23)
+	data := append([]complex128(nil), x...)
+	if err := p.Transform(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inverse(data); err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(data, x); e > 1e-16 {
+		t.Fatalf("interface roundtrip error %g", e)
+	}
+	batch := [][]complex128{noise(128, 1), noise(128, 2)}
+	if err := p.TransformBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InverseBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TransformCtx(context.Background(), data); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InverseCtx(context.Background(), data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseKernelFacade(t *testing.T) {
+	cases := map[string]codeletfft.Kernel{
+		"auto":        codeletfft.KernelAuto,
+		"radix2":      codeletfft.KernelRadix2,
+		"radix4":      codeletfft.KernelRadix4,
+		"split-radix": codeletfft.KernelSplitRadix,
+	}
+	for s, want := range cases {
+		got, err := codeletfft.ParseKernel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseKernel(%q) = %v, %v, want %v", s, got, err, want)
+		}
+	}
+	if _, err := codeletfft.ParseKernel("radix8"); err == nil {
+		t.Fatal("ParseKernel accepted an unknown kernel")
+	}
+}
+
 func TestHostPlanTransformPanicContract(t *testing.T) {
 	h, err := codeletfft.NewHostPlan(64)
 	if err != nil {
@@ -200,7 +382,30 @@ func TestHostPlanTransformPanicContract(t *testing.T) {
 			t.Fatalf("panic value %v, want error wrapping ErrLengthMismatch", v)
 		}
 	}()
-	h.Transform(make([]complex128, 63))
+	_ = h.Transform(make([]complex128, 63))
+}
+
+// TestBatchPanicNamesIndex: a bad row panics with an error naming the
+// offending batch index — the contract the serving daemon's 400s use.
+func TestBatchPanicNamesIndex(t *testing.T) {
+	h, err := codeletfft.NewHostPlan(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v := recover()
+		e, ok := v.(error)
+		if !ok || !errors.Is(e, codeletfft.ErrLengthMismatch) {
+			t.Fatalf("panic value %v, want error wrapping ErrLengthMismatch", v)
+		}
+		if want := "batch element 1"; !strings.Contains(e.Error(), want) {
+			t.Fatalf("panic %q does not contain %q", e.Error(), want)
+		}
+	}()
+	_ = h.TransformBatch([][]complex128{
+		make([]complex128, 64),
+		make([]complex128, 32),
+	})
 }
 
 func TestHostPlanBatchMatchesLoop(t *testing.T) {
@@ -214,18 +419,18 @@ func TestHostPlanBatchMatchesLoop(t *testing.T) {
 	for i := range batch {
 		batch[i] = noise(n, int64(i))
 		want[i] = append([]complex128(nil), batch[i]...)
-		h.Transform(want[i])
+		_ = h.Transform(want[i])
 	}
-	h.TransformBatch(batch)
+	_ = h.TransformBatch(batch)
 	for i := range batch {
 		if !sameBits(batch[i], want[i]) {
 			t.Fatalf("TransformBatch diverged from Transform loop at transform %d", i)
 		}
 	}
 	for i := range want {
-		h.Inverse(want[i])
+		_ = h.Inverse(want[i])
 	}
-	h.InverseBatch(batch)
+	_ = h.InverseBatch(batch)
 	for i := range batch {
 		if !sameBits(batch[i], want[i]) {
 			t.Fatalf("InverseBatch diverged from Inverse loop at transform %d", i)
@@ -284,6 +489,84 @@ func TestHostPlanRealRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRealPlanFacade covers the typed RealPlan replacement for the
+// deprecated HostPlan.RealTransform path: construction via the shared
+// option set, kernel pinning, caching, context variants, and agreement
+// with the full complex transform.
+func TestRealPlanFacade(t *testing.T) {
+	const n = 1 << 10
+	rng := rand.New(rand.NewSource(29))
+	x := make([]float64, n)
+	wide := make([]complex128, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		wide[i] = complex(x[i], 0)
+	}
+	full := codeletfft.FFT(wide)
+
+	for _, k := range append([]codeletfft.Kernel{codeletfft.KernelAuto}, codeletfft.Kernels()...) {
+		r, err := codeletfft.NewRealPlan(n, codeletfft.WithKernel(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.N() != n || r.SpectrumLen() != n/2+1 {
+			t.Fatalf("N, SpectrumLen = %d, %d", r.N(), r.SpectrumLen())
+		}
+		if k != codeletfft.KernelAuto && r.Kernel() != k {
+			t.Fatalf("Kernel() = %v, want %v", r.Kernel(), k)
+		}
+		spec := make([]complex128, r.SpectrumLen())
+		if err := r.Transform(spec, x); err != nil {
+			t.Fatal(err)
+		}
+		for bin := range spec {
+			d := spec[bin] - full[bin]
+			if math.Hypot(real(d), imag(d)) > 1e-9 {
+				t.Fatalf("%v: bin %d = %v, want %v", k, bin, spec[bin], full[bin])
+			}
+		}
+		back := make([]float64, n)
+		if err := r.Inverse(back, spec); err != nil {
+			t.Fatal(err)
+		}
+		for i := range back {
+			if math.Abs(back[i]-x[i]) > 1e-12 {
+				t.Fatalf("%v: real round trip diverged at %d", k, i)
+			}
+		}
+	}
+
+	// Cached variant shares the packed plan; context variants obey ctx.
+	r1, err := codeletfft.CachedRealPlan(n, codeletfft.WithKernel(codeletfft.KernelRadix4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := codeletfft.CachedRealPlan(n, codeletfft.WithKernel(codeletfft.KernelRadix4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := make([]complex128, r1.SpectrumLen())
+	s2 := make([]complex128, r2.SpectrumLen())
+	_ = r1.Transform(s1, x)
+	_ = r2.Transform(s2, x)
+	if !sameBits(s1, s2) {
+		t.Fatal("cached real plans disagree")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r1.TransformCtx(ctx, s1, x); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TransformCtx on canceled ctx = %v", err)
+	}
+	back := make([]float64, n)
+	if err := r1.InverseCtx(context.Background(), back, s1); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := codeletfft.NewRealPlan(2); !errors.Is(err, codeletfft.ErrNotPowerOfTwo) {
+		t.Fatalf("NewRealPlan(2) err = %v, want ErrNotPowerOfTwo", err)
+	}
+}
+
 func TestHostPlanRealRejectsTinyPlans(t *testing.T) {
 	h, err := codeletfft.NewHostPlan(2)
 	if err != nil {
@@ -295,12 +578,12 @@ func TestHostPlanRealRejectsTinyPlans(t *testing.T) {
 }
 
 func TestCachedHostPlan(t *testing.T) {
-	h1, err := codeletfft.CachedHostPlan(1<<9, codeletfft.WithWorkers(2))
+	h1, err := codeletfft.CachedHostPlan(1<<9, codeletfft.WithWorkers(2), codeletfft.WithKernel(codeletfft.KernelRadix2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := codeletfft.PlanCacheLen()
-	h2, err := codeletfft.CachedHostPlan(1<<9, codeletfft.WithWorkers(5))
+	h2, err := codeletfft.CachedHostPlan(1<<9, codeletfft.WithWorkers(5), codeletfft.WithKernel(codeletfft.KernelRadix2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,11 +596,20 @@ func TestCachedHostPlan(t *testing.T) {
 		t.Fatalf("Workers = %d, %d, want 2, 5", h1.Workers(), h2.Workers())
 	}
 	// Distinct task size → distinct cache entry.
-	if _, err := codeletfft.CachedHostPlan(1<<9, codeletfft.WithTaskSize(8)); err != nil {
+	if _, err := codeletfft.CachedHostPlan(1<<9, codeletfft.WithTaskSize(8), codeletfft.WithKernel(codeletfft.KernelRadix2)); err != nil {
 		t.Fatal(err)
 	}
 	if codeletfft.PlanCacheLen() != before+1 {
 		t.Fatalf("distinct task size did not add an entry: %d -> %d",
+			before, codeletfft.PlanCacheLen())
+	}
+	// Distinct requested kernel → distinct cache entry, so pinning a
+	// kernel can never alias an Auto caller's plan.
+	if _, err := codeletfft.CachedHostPlan(1<<9, codeletfft.WithKernel(codeletfft.KernelSplitRadix)); err != nil {
+		t.Fatal(err)
+	}
+	if codeletfft.PlanCacheLen() != before+2 {
+		t.Fatalf("distinct kernel did not add an entry: %d -> %d",
 			before, codeletfft.PlanCacheLen())
 	}
 	if _, err := codeletfft.CachedHostPlan(1000); !errors.Is(err, codeletfft.ErrNotPowerOfTwo) {
@@ -326,8 +618,8 @@ func TestCachedHostPlan(t *testing.T) {
 	x := noise(1<<9, 13)
 	a := append([]complex128(nil), x...)
 	b := append([]complex128(nil), x...)
-	h1.Transform(a)
-	h2.Transform(b)
+	_ = h1.Transform(a)
+	_ = h2.Transform(b)
 	if !sameBits(a, b) {
 		t.Fatal("cached plans with a shared core disagree")
 	}
@@ -360,7 +652,7 @@ func TestWithObserverThreadsTelemetry(t *testing.T) {
 	for i := range batch {
 		batch[i] = noise(n, int64(i))
 	}
-	h.TransformBatch(batch)
+	_ = h.TransformBatch(batch)
 	if got := obs.batches.Load(); got != 1 {
 		t.Fatalf("ObserveBatch calls = %d, want 1", got)
 	}
@@ -372,35 +664,28 @@ func TestWithObserverThreadsTelemetry(t *testing.T) {
 	}
 }
 
-// TestSetParallelKeepsObserver is the regression test for SetParallel
-// silently dropping the observer attached with WithObserver: the
-// rebuilt engine must keep reporting telemetry.
-func TestSetParallelKeepsObserver(t *testing.T) {
+// TestAutoTuningSkipsObserver: resolving KernelAuto must not leak
+// tuning-run telemetry into the plan's observer — the measurement runs
+// on a separate observer-free engine.
+func TestAutoTuningSkipsObserver(t *testing.T) {
 	const n = 256
 	obs := new(countObserver)
 	h, err := codeletfft.NewHostPlan(n,
+		codeletfft.WithWorkers(2),
 		codeletfft.WithThreshold(1),
 		codeletfft.WithObserver(obs))
 	if err != nil {
 		t.Fatal(err)
 	}
-	h.SetParallel(codeletfft.ParallelConfig{Workers: 2, Threshold: 1})
-	h.ParallelTransform(noise(n, 1))
+	if k := h.Kernel(); k == codeletfft.KernelAuto {
+		t.Fatal("Auto did not resolve")
+	}
+	if got := obs.passes.Load(); got != 0 {
+		t.Fatalf("tuning leaked %d passes into the plan observer", got)
+	}
+	_ = h.Transform(noise(n, 1))
 	if obs.passes.Load() == 0 {
-		t.Fatal("SetParallel dropped the WithObserver observer: no passes reported")
-	}
-
-	obs2 := new(countObserver)
-	h2, err := codeletfft.NewHostPlan2D(16, 16,
-		codeletfft.WithThreshold(1),
-		codeletfft.WithObserver(obs2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	h2.SetParallel(codeletfft.ParallelConfig{Workers: 2, Threshold: 1})
-	h2.ParallelTransform(noise(16*16, 2))
-	if obs2.passes.Load() == 0 {
-		t.Fatal("HostPlan2D.SetParallel dropped the observer: no passes reported")
+		t.Fatal("real transform reported no passes")
 	}
 }
 

@@ -98,6 +98,11 @@ type Config struct {
 	// LocalWorkers and LocalTaskSize configure the host engine used for
 	// degraded (local) execution; 0 means the engine defaults.
 	LocalWorkers, LocalTaskSize int
+	// LocalKernel selects the butterfly kernel of degraded (local)
+	// execution and locally run shards. The zero value (KernelAuto)
+	// resolves to radix-2 at this layer — the coordinator never runs
+	// tuning measurements on the request path.
+	LocalKernel fft.Kernel
 
 	// Circuit-breaker knobs, forwarded to the membership layer.
 	CircuitThreshold int
@@ -264,7 +269,7 @@ func (c *Coordinator) transformLocal(data []complex128) error {
 	if err != nil {
 		return err
 	}
-	c.eng.Transform(lp.pl, data, lp.w)
+	c.eng.TransformKernel(lp.pl, data, lp.w, c.cfg.LocalKernel)
 	return nil
 }
 
@@ -524,7 +529,8 @@ func (c *Coordinator) execOnce(ctx context.Context, addr string, req serve.Shard
 }
 
 // execShardLocal executes one shard on the coordinator itself, in
-// place — identical numerics to a worker's execShard.
+// place — identical numerics to a worker's execShard when both run the
+// same kernel (results agree to rounding otherwise).
 func (c *Coordinator) execShardLocal(f serve.ShardFrame) error {
 	lp, err := c.localPlanFor(f.VecLen)
 	if err != nil {
@@ -535,9 +541,10 @@ func (c *Coordinator) execShardLocal(f serve.ShardFrame) error {
 		tw = fft.Twiddles(f.TotalN)
 	}
 	sc := fft.NewScratch(lp.pl)
+	kern := c.cfg.LocalKernel.Concrete()
 	for v := 0; v < f.VecCount(); v++ {
 		vec := f.Vec(v)
-		lp.pl.TransformWith(vec, lp.w, sc)
+		lp.pl.TransformKernelWith(vec, lp.w, kern, sc)
 		if f.Op == serve.OpColumns {
 			fft.TwiddleScale(vec, tw, f.Start+v, f.TotalN)
 		}

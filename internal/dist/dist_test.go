@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"codeletfft"
+	"codeletfft/internal/fft"
 	"codeletfft/internal/serve"
 )
 
@@ -550,6 +551,29 @@ func TestNearSquareFactor(t *testing.T) {
 		n1, n2 := NearSquareFactor(tc.n)
 		if n1 != tc.n1 || n2 != tc.n2 {
 			t.Errorf("NearSquareFactor(%d) = %d×%d, want %d×%d", tc.n, n1, n2, tc.n1, tc.n2)
+		}
+	}
+}
+
+// TestLocalKernelConfig: the degraded path honors Config.LocalKernel —
+// every kernel's local output matches the reference single-node
+// transform to rounding.
+func TestLocalKernelConfig(t *testing.T) {
+	const n = 1 << 12
+	for _, k := range fft.ConcreteKernels() {
+		c, err := NewCoordinator(Config{LocalKernel: k})
+		if err != nil {
+			t.Fatalf("NewCoordinator: %v", err)
+		}
+		data := noise(n, 7)
+		want := singleNode(t, data)
+		if err := c.Transform(context.Background(), data); err != nil {
+			c.Close()
+			t.Fatalf("%v: Transform: %v", k, err)
+		}
+		c.Close()
+		if d := maxDiff(data, want); d > 1e-12*float64(n) {
+			t.Fatalf("%v: degraded output deviates by %g", k, d)
 		}
 	}
 }

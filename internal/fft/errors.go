@@ -30,3 +30,11 @@ var (
 func LengthError(what string, got, want int) error {
 	return fmt.Errorf("%w: %s has %d elements, want %d", ErrLengthMismatch, what, got, want)
 }
+
+// BatchLengthError is LengthError for one row of a batched call: it
+// names the batch index of the offending row so callers rejecting a
+// whole batch (the serving daemon's 400s) can say which request was
+// malformed. It wraps ErrLengthMismatch like every other length panic.
+func BatchLengthError(index, got, want int) error {
+	return fmt.Errorf("%w: batch element %d has %d elements, want %d", ErrLengthMismatch, index, got, want)
+}

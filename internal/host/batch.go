@@ -32,13 +32,14 @@ const (
 	passConjScale        // unit: one transform's conjugate-and-scale sweep
 )
 
-// passLabel maps a batch pass kind to its Observer label.
-func passLabel(mode int) string {
+// passLabel maps a batch pass kind to its Observer label; stage passes
+// are labeled per kernel (see StagePassLabel).
+func passLabel(mode int, kern fft.Kernel) string {
 	switch mode {
 	case passBitRev:
 		return PassBitRev
 	case passStage:
-		return PassStage
+		return StagePassLabel(kern)
 	case passConj:
 		return PassConj
 	default:
@@ -53,6 +54,7 @@ type batchJob struct {
 	pl    *fft.Plan
 	batch [][]complex128
 	w     []complex128
+	kern  fft.Kernel
 
 	mode  int
 	stage int
@@ -120,7 +122,7 @@ func (job *batchJob) run(scratch *sync.Pool) {
 		case passStage:
 			tps := int64(job.pl.TasksPerStage)
 			for u := lo; u < hi; u++ {
-				job.pl.RunTask(job.stage, int(u%tps), job.batch[u/tps], job.w, nil, sc)
+				job.pl.RunTaskKernel(job.stage, int(u%tps), job.batch[u/tps], job.w, job.kern, sc)
 			}
 		case passConj:
 			for t := lo; t < hi; t++ {
@@ -160,18 +162,20 @@ func (e *Engine) runPass(job *batchJob, mode, stage int, units int64) {
 	}
 	job.run(e.scratch)
 	job.wg.Wait()
-	e.passDone(passLabel(mode), t0)
+	e.passDone(passLabel(mode, job.kern), t0)
 }
 
 // checkBatch validates every array up front so a mid-batch panic cannot
-// leave earlier transforms half-executed.
+// leave earlier transforms half-executed. A bad row panics with
+// BatchLengthError, which names the row's batch index — serving-side
+// 400s use it to say which request in a coalesced batch was malformed.
 func checkBatch(pl *fft.Plan, batch [][]complex128, w []complex128) {
 	if len(w) != pl.N/2 {
 		panic(fft.LengthError("twiddle table", len(w), pl.N/2))
 	}
-	for _, d := range batch {
+	for i, d := range batch {
 		if len(d) != pl.N {
-			panic(fft.LengthError("batch element", len(d), pl.N))
+			panic(fft.BatchLengthError(i, len(d), pl.N))
 		}
 	}
 }
@@ -184,6 +188,14 @@ func checkBatch(pl *fft.Plan, batch [][]complex128, w []complex128) {
 // reused scratch. Output is bitwise identical to calling pl.Transform
 // on each array in order.
 func (e *Engine) TransformBatch(pl *fft.Plan, batch [][]complex128, w []complex128) {
+	e.TransformBatchKernel(pl, batch, w, fft.KernelRadix2)
+}
+
+// TransformBatchKernel is TransformBatch with a selectable butterfly
+// kernel; for a fixed kernel the output is bitwise identical to calling
+// pl.TransformKernel on each array in order.
+func (e *Engine) TransformBatchKernel(pl *fft.Plan, batch [][]complex128, w []complex128, kern fft.Kernel) {
+	kern = kern.Concrete()
 	checkBatch(pl, batch, w)
 	if len(batch) == 0 {
 		return
@@ -192,7 +204,7 @@ func (e *Engine) TransformBatch(pl *fft.Plan, batch [][]complex128, w []complex1
 	if e.workers <= 1 || len(batch)*pl.N < e.threshold {
 		sc := getScratch(e.scratch, pl)
 		for _, d := range batch {
-			pl.TransformWith(d, w, sc)
+			pl.TransformKernelWith(d, w, kern, sc)
 		}
 		e.scratch.Put(sc)
 		e.batchDone(len(batch), pl.N, t0)
@@ -200,7 +212,7 @@ func (e *Engine) TransformBatch(pl *fft.Plan, batch [][]complex128, w []complex1
 	}
 	e.ensurePool()
 	job := jobPool.Get().(*batchJob)
-	job.pl, job.batch, job.w = pl, batch, w
+	job.pl, job.batch, job.w, job.kern = pl, batch, w, kern
 	e.runPass(job, passBitRev, 0, int64(len(batch)))
 	for s := 0; s < pl.NumStages; s++ {
 		e.runPass(job, passStage, s, int64(len(batch))*int64(pl.TasksPerStage))
@@ -214,6 +226,12 @@ func (e *Engine) TransformBatch(pl *fft.Plan, batch [][]complex128, w []complex1
 // batched the same way. Output is bitwise identical to calling
 // pl.InverseTransform on each array in order.
 func (e *Engine) InverseBatch(pl *fft.Plan, batch [][]complex128, w []complex128) {
+	e.InverseBatchKernel(pl, batch, w, fft.KernelRadix2)
+}
+
+// InverseBatchKernel is InverseBatch with a selectable butterfly kernel.
+func (e *Engine) InverseBatchKernel(pl *fft.Plan, batch [][]complex128, w []complex128, kern fft.Kernel) {
+	kern = kern.Concrete()
 	checkBatch(pl, batch, w)
 	if len(batch) == 0 {
 		return
@@ -222,7 +240,7 @@ func (e *Engine) InverseBatch(pl *fft.Plan, batch [][]complex128, w []complex128
 	if e.workers <= 1 || len(batch)*pl.N < e.threshold {
 		sc := getScratch(e.scratch, pl)
 		for _, d := range batch {
-			pl.InverseTransformWith(d, w, sc)
+			pl.InverseTransformKernelWith(d, w, kern, sc)
 		}
 		e.scratch.Put(sc)
 		e.batchDone(len(batch), pl.N, t0)
@@ -230,7 +248,7 @@ func (e *Engine) InverseBatch(pl *fft.Plan, batch [][]complex128, w []complex128
 	}
 	e.ensurePool()
 	job := jobPool.Get().(*batchJob)
-	job.pl, job.batch, job.w = pl, batch, w
+	job.pl, job.batch, job.w, job.kern = pl, batch, w, kern
 	e.runPass(job, passConj, 0, int64(len(batch)))
 	e.runPass(job, passBitRev, 0, int64(len(batch)))
 	for s := 0; s < pl.NumStages; s++ {
@@ -254,7 +272,7 @@ func (e *Engine) batchDone(batch, n int, start time.Time) {
 // Engine reachable until the last pass has fully drained (workers never
 // reference the Engine, only the channel — see ensurePool).
 func (e *Engine) releaseJob(job *batchJob) {
-	job.pl, job.batch, job.w = nil, nil, nil
+	job.pl, job.batch, job.w, job.kern = nil, nil, nil, 0
 	jobPool.Put(job)
 	runtime.KeepAlive(e)
 }

@@ -1,0 +1,246 @@
+package host_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"codeletfft/internal/fft"
+	"codeletfft/internal/host"
+)
+
+func kernInput(n int, seed uint64) []complex128 {
+	x := make([]complex128, n)
+	s := seed*2862933555777941757 + 3037000493
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(int32(s>>32)) / float64(1<<31)
+	}
+	for i := range x {
+		x[i] = complex(next(), next())
+	}
+	return x
+}
+
+func sameBits(a, b []complex128) bool {
+	for i := range a {
+		if math.Float64bits(real(a[i])) != math.Float64bits(real(b[i])) ||
+			math.Float64bits(imag(a[i])) != math.Float64bits(imag(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKernelParallelMatchesSerial pins the engine's determinism
+// guarantee per kernel: for each kernel, parallel engine output is
+// bitwise identical to the serial fft-layer output with the same
+// kernel, forward and inverse.
+func TestKernelParallelMatchesSerial(t *testing.T) {
+	for _, lg := range []int{6, 10, 13} {
+		n := 1 << lg
+		for _, p := range []int{8, 64} {
+			pl, err := fft.NewPlan(n, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := fft.Twiddles(n)
+			x := kernInput(n, uint64(n+p))
+			for _, workers := range []int{2, 5} {
+				eng := host.New(host.Config{Workers: workers, Threshold: 1})
+				for _, k := range fft.ConcreteKernels() {
+					serial := append([]complex128(nil), x...)
+					pl.TransformKernel(serial, w, k)
+					par := append([]complex128(nil), x...)
+					eng.TransformKernel(pl, par, w, k)
+					if !sameBits(par, serial) {
+						t.Fatalf("N=2^%d P=%d workers=%d %v: parallel != serial", lg, p, workers, k)
+					}
+					pl.InverseTransformKernel(serial, w, k)
+					eng.InverseTransformKernel(pl, par, w, k)
+					if !sameBits(par, serial) {
+						t.Fatalf("N=2^%d P=%d workers=%d %v: inverse parallel != serial", lg, p, workers, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelBatchMatchesLoop: for each kernel, TransformBatchKernel is
+// bitwise identical to a loop of serial per-kernel transforms, through
+// both the pooled and the below-threshold serial batch paths.
+func TestKernelBatchMatchesLoop(t *testing.T) {
+	const n, b = 512, 6
+	pl, err := fft.NewPlan(n, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := fft.Twiddles(n)
+	for _, threshold := range []int{1, 1 << 20} { // pooled, serial fallback
+		eng := host.New(host.Config{Workers: 4, Threshold: threshold})
+		for _, k := range fft.ConcreteKernels() {
+			batch := make([][]complex128, b)
+			want := make([][]complex128, b)
+			for i := range batch {
+				batch[i] = kernInput(n, uint64(i)+9)
+				want[i] = append([]complex128(nil), batch[i]...)
+				pl.TransformKernel(want[i], w, k)
+			}
+			eng.TransformBatchKernel(pl, batch, w, k)
+			for i := range batch {
+				if !sameBits(batch[i], want[i]) {
+					t.Fatalf("threshold=%d %v: batch row %d != loop", threshold, k, i)
+				}
+			}
+			for i := range batch {
+				pl.InverseTransformKernel(want[i], w, k)
+			}
+			eng.InverseBatchKernel(pl, batch, w, k)
+			for i := range batch {
+				if !sameBits(batch[i], want[i]) {
+					t.Fatalf("threshold=%d %v: inverse batch row %d != loop", threshold, k, i)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelRealAndTwoD covers the kernel variants of the real and 2-D
+// engine paths against their serial fft-layer counterparts.
+func TestKernelRealAndTwoD(t *testing.T) {
+	eng := host.New(host.Config{Workers: 3, Threshold: 1})
+
+	rp, err := fft.NewRealPlan(1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 1024)
+	z := kernInput(1024, 21)
+	for i := range x {
+		x[i] = real(z[i])
+	}
+	for _, k := range fft.ConcreteKernels() {
+		want := make([]complex128, rp.SpectrumLen())
+		rp.TransformKernelWith(want, x, k, fft.NewScratch(rp.Half))
+		got := make([]complex128, rp.SpectrumLen())
+		eng.RealTransformKernel(rp, got, x, k)
+		if !sameBits(got, want) {
+			t.Fatalf("%v: engine real transform != serial", k)
+		}
+		back := make([]float64, 1024)
+		eng.RealInverseKernel(rp, back, got, k)
+		for i := range back {
+			if math.Abs(back[i]-x[i]) > 1e-9 {
+				t.Fatalf("%v: real round trip diverged at %d", k, i)
+			}
+		}
+	}
+
+	p2, err := fft.NewPlan2D(32, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range fft.ConcreteKernels() {
+		want := kernInput(32*64, 5)
+		got := append([]complex128(nil), want...)
+		p2.TransformKernel(want, k)
+		eng.Transform2DKernel(p2, got, k)
+		if !sameBits(got, want) {
+			t.Fatalf("%v: engine 2-D != serial", k)
+		}
+		p2.InverseTransformKernel(want, k)
+		eng.InverseTransform2DKernel(p2, got, k)
+		if !sameBits(got, want) {
+			t.Fatalf("%v: engine inverse 2-D != serial", k)
+		}
+	}
+}
+
+type passRecorder struct {
+	mu     sync.Mutex
+	passes map[string]int
+}
+
+func (r *passRecorder) ObserveBatch(batch, n int, d time.Duration) {}
+func (r *passRecorder) ObservePass(pass string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.passes == nil {
+		r.passes = map[string]int{}
+	}
+	r.passes[pass]++
+}
+
+// TestKernelStagePassLabels: higher-radix stage passes report their own
+// observer labels; radix-2 keeps the original "stage" label.
+func TestKernelStagePassLabels(t *testing.T) {
+	pl, err := fft.NewPlan(256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := fft.Twiddles(256)
+	cases := []struct {
+		kern  fft.Kernel
+		label string
+	}{
+		{fft.KernelRadix2, host.PassStage},
+		{fft.KernelRadix4, host.PassStageRadix4},
+		{fft.KernelSplitRadix, host.PassStageSplitRadix},
+	}
+	for _, tc := range cases {
+		if got := host.StagePassLabel(tc.kern); got != tc.label {
+			t.Fatalf("StagePassLabel(%v) = %q, want %q", tc.kern, got, tc.label)
+		}
+		rec := &passRecorder{}
+		eng := host.New(host.Config{Workers: 2, Threshold: 1, Observer: rec})
+		data := kernInput(256, 1)
+		eng.TransformKernel(pl, data, w, tc.kern)
+		if rec.passes[tc.label] != pl.NumStages {
+			t.Fatalf("%v: saw %d %q passes, want %d (all: %v)",
+				tc.kern, rec.passes[tc.label], tc.label, pl.NumStages, rec.passes)
+		}
+		// The batched path reports the same label.
+		rec2 := &passRecorder{}
+		eng2 := host.New(host.Config{Workers: 2, Threshold: 1, Observer: rec2})
+		batch := [][]complex128{kernInput(256, 2), kernInput(256, 3)}
+		eng2.TransformBatchKernel(pl, batch, w, tc.kern)
+		if rec2.passes[tc.label] != pl.NumStages {
+			t.Fatalf("%v batched: saw %d %q passes, want %d", tc.kern, rec2.passes[tc.label], tc.label, pl.NumStages)
+		}
+	}
+}
+
+// TestBatchLengthPanicNamesIndex pins the ISSUE 5 bugfix: a bad row in
+// a batch panics with an error that names the offending batch index and
+// still wraps ErrLengthMismatch.
+func TestBatchLengthPanicNamesIndex(t *testing.T) {
+	pl, err := fft.NewPlan(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := fft.Twiddles(64)
+	eng := host.New(host.Config{Workers: 2, Threshold: 1})
+	batch := [][]complex128{
+		make([]complex128, 64),
+		make([]complex128, 64),
+		make([]complex128, 63), // bad row at index 2
+	}
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("no panic for bad batch row")
+		}
+		err, ok := v.(error)
+		if !ok || !errors.Is(err, fft.ErrLengthMismatch) {
+			t.Fatalf("panic %v does not wrap ErrLengthMismatch", v)
+		}
+		if !strings.Contains(err.Error(), "batch element 2") {
+			t.Fatalf("panic %q does not name batch index 2", err)
+		}
+	}()
+	eng.TransformBatch(pl, batch, w)
+}

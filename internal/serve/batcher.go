@@ -112,44 +112,59 @@ func (s *Server) execute(key batchKey, reqs []*pending) {
 	}
 }
 
-// runBatch resolves the shape's cached plan and applies the transform
-// to every live request. A panic anywhere inside (the isolation
-// boundary for the worker) is converted to an error answered to the
-// whole batch; the server keeps serving.
+// runBatch resolves the shape's cached plan through the unified Plan
+// interface and applies the transform to every live request. A panic
+// anywhere inside (the isolation boundary for the worker) is converted
+// to an error answered to the whole batch; the server keeps serving.
+// Panic values that are errors are wrapped, not stringified, so submit
+// can classify them (a length-mismatch batch panic names the offending
+// batch element and becomes a 400).
 func (s *Server) runBatch(key batchKey, live []*pending) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.m.panics.Inc()
-			err = fmt.Errorf("transform panic: %v", r)
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("transform panic: %w", e)
+			} else {
+				err = fmt.Errorf("transform panic: %v", r)
+			}
 		}
 	}()
 	if s.execHook != nil {
 		s.execHook(key, len(live))
 	}
-	plan, err := codeletfft.CachedHostPlan(key.n, s.planOpts...)
-	if err != nil {
-		return err
-	}
 	switch key.kind {
 	case KindForward, KindInverse:
+		var plan codeletfft.Plan
+		plan, err = codeletfft.CachedHostPlan(key.n, s.planOpts...)
+		if err != nil {
+			return err
+		}
 		batch := make([][]complex128, len(live))
 		for i, p := range live {
 			batch[i] = p.data
 		}
 		if key.kind == KindForward {
-			plan.TransformBatch(batch)
-		} else {
-			plan.InverseBatch(batch)
+			return plan.TransformBatch(batch)
 		}
+		return plan.InverseBatch(batch)
 	case KindReal:
+		plan, err := codeletfft.CachedRealPlan(key.n, s.planOpts...)
+		if err != nil {
+			return err
+		}
 		for _, p := range live {
-			if err := plan.ParallelRealTransform(p.spec, p.realIn); err != nil {
+			if err := plan.Transform(p.spec, p.realIn); err != nil {
 				return err
 			}
 		}
 	case KindRealInverse:
+		plan, err := codeletfft.CachedRealPlan(key.n, s.planOpts...)
+		if err != nil {
+			return err
+		}
 		for _, p := range live {
-			if err := plan.ParallelRealInverse(p.realOut, p.data); err != nil {
+			if err := plan.Inverse(p.realOut, p.data); err != nil {
 				return err
 			}
 		}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"codeletfft"
+	"codeletfft/internal/host"
 	"codeletfft/internal/metrics"
 )
 
@@ -71,6 +72,10 @@ type Config struct {
 	// Workers and TaskSize configure the plans the executor resolves
 	// (0 means the engine defaults: GOMAXPROCS workers, 64-point tasks).
 	Workers, TaskSize int
+	// Kernel selects the butterfly kernel of every plan the executor
+	// resolves. The zero value is KernelAuto: the first request of each
+	// shape autotunes once and the winner is memoized process-wide.
+	Kernel codeletfft.Kernel
 	// EnableShard mounts the cluster shard-exec endpoint
 	// (POST /fft/shard), making this server a worker a dist
 	// coordinator can dispatch four-step segments to.
@@ -189,8 +194,12 @@ type engineObserver struct {
 
 func newEngineObserver(r *metrics.Registry) *engineObserver {
 	latency := metrics.ExpBuckets(1e-6, 2, 24) // 1µs … ~16s
-	passes := make(map[string]*metrics.Histogram, 4)
-	for _, p := range []string{"bitrev", "stage", "conj", "scale"} {
+	passes := make(map[string]*metrics.Histogram, 8)
+	// Every label an engine may emit is pre-registered, including the
+	// per-kernel stage labels (host.StagePassLabel), so the first
+	// radix-4 or split-radix batch doesn't race a map write.
+	for _, p := range []string{host.PassBitRev, host.PassStage, host.PassStageRadix4,
+		host.PassStageSplitRadix, host.PassConj, host.PassScale} {
 		passes[p] = r.Histogram("engine_pass_"+p+"_seconds", latency)
 	}
 	return &engineObserver{
@@ -257,6 +266,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.TaskSize > 0 {
 		s.planOpts = append(s.planOpts, codeletfft.WithTaskSize(cfg.TaskSize))
+	}
+	if cfg.Kernel != codeletfft.KernelAuto {
+		s.planOpts = append(s.planOpts, codeletfft.WithKernel(cfg.Kernel))
 	}
 	cfg.Registry.GaugeFunc("fft_queue_depth", func() float64 { return float64(len(s.sem)) })
 	cfg.Registry.GaugeFunc("plan_cache_len", func() float64 { return float64(codeletfft.PlanCacheLen()) })
@@ -411,10 +423,17 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, key batchKey, p 
 	select {
 	case err := <-p.done:
 		if err != nil {
-			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			switch {
+			case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 				s.m.deadline.Inc()
 				http.Error(w, "deadline exceeded in queue", http.StatusGatewayTimeout)
-			} else {
+			case errors.Is(err, codeletfft.ErrLengthMismatch):
+				// A malformed row in a coalesced batch: the recovered
+				// engine panic names the offending batch element, so the
+				// 400 can say which request was bad.
+				s.m.bad.Inc()
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			default:
 				s.m.internal.Inc()
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -12,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"codeletfft"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -474,5 +477,62 @@ func TestConcurrentMixedSizes(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestKernelConfigPinsPlans: Config.Kernel reaches the plans the
+// executor resolves, the per-kernel stage-pass instruments are
+// pre-registered, and a pinned-kernel server still answers correctly.
+func TestKernelConfigPinsPlans(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchWindow: -1, Kernel: codeletfft.KernelSplitRadix})
+	re := make([]float64, 64)
+	re[1] = 1
+	resp, out := postJSON(t, ts.URL, jsonRequest{Kind: "forward", Re: re})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for k := range out.Re {
+		if m := math.Hypot(out.Re[k], out.Im[k]); math.Abs(m-1) > 1e-9 {
+			t.Fatalf("bin %d magnitude %g, want 1", k, m)
+		}
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := readAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"engine_pass_stage_radix4_seconds", "engine_pass_stage_splitradix_seconds"} {
+		if !strings.Contains(string(raw), name) {
+			t.Errorf("/metrics missing pre-registered instrument %q", name)
+		}
+	}
+}
+
+// TestRunBatchNamesBadBatchElement: a length-mismatch panic inside a
+// batch dispatch surfaces as an error that wraps ErrLengthMismatch and
+// names the offending batch element — the classification submit uses
+// to answer 400 instead of 500.
+func TestRunBatchNamesBadBatchElement(t *testing.T) {
+	s := New(Config{})
+	live := []*pending{
+		{data: make([]complex128, 64), done: make(chan error, 1)},
+		{data: make([]complex128, 32), done: make(chan error, 1)}, // bad row
+	}
+	err := s.runBatch(batchKey{n: 64, kind: KindForward}, live)
+	if err == nil {
+		t.Fatal("runBatch accepted a malformed batch row")
+	}
+	if !errors.Is(err, codeletfft.ErrLengthMismatch) {
+		t.Fatalf("error %v does not wrap ErrLengthMismatch", err)
+	}
+	if !strings.Contains(err.Error(), "batch element 1") {
+		t.Fatalf("error %q does not name batch element 1", err)
+	}
+	if got := s.m.panics.Value(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
 	}
 }

@@ -96,7 +96,11 @@ func (s *Server) execShard(f ShardFrame) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.m.panics.Inc()
-			err = fmt.Errorf("shard panic: %v", r)
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("shard panic: %w", e)
+			} else {
+				err = fmt.Errorf("shard panic: %v", r)
+			}
 		}
 	}()
 	plan, err := codeletfft.CachedHostPlan(f.VecLen, s.planOpts...)
@@ -107,7 +111,9 @@ func (s *Server) execShard(f ShardFrame) (err error) {
 	for v := range batch {
 		batch[v] = f.Vec(v)
 	}
-	plan.TransformBatch(batch)
+	if err := plan.TransformBatch(batch); err != nil {
+		return err
+	}
 	if f.Op == OpColumns {
 		w, err := twiddleCache.GetOrCreate(f.TotalN, func() ([]complex128, error) {
 			return fft.Twiddles(f.TotalN), nil
