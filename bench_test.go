@@ -361,6 +361,43 @@ func BenchmarkHostKernels(b *testing.B) {
 	}
 }
 
+// BenchmarkMixedRadix measures the arbitrary-N planner against the
+// power-of-two baseline at comparable sizes: N=2^20 (staged engine),
+// 3·2^18 and 10^6 (mixed-radix codelets), and the prime 2^20+7
+// (Bluestein, which pays for a 2^22-point convolution pair plus O(N)
+// chirp sweeps — the padded-transform cost an arbitrary-N caller
+// avoids everywhere except at large prime N). Forward transform only,
+// so the ns/op across sub-benchmarks are directly comparable:
+//
+//	go test -bench BenchmarkMixedRadix -benchtime 5x
+func BenchmarkMixedRadix(b *testing.B) {
+	cases := []struct {
+		name string
+		n    int
+	}{
+		{"staged/N=2^20", 1 << 20},
+		{"mixed/N=3x2^18", 3 << 18},
+		{"mixed/N=10^6", 1000000},
+		{"bluestein/N=2^20+7", 1<<20 + 7},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			h, err := codeletfft.NewHostPlan(c.n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := noise(c.n, 1)
+			data := make([]complex128, c.n)
+			b.SetBytes(int64(c.n) * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(data, x)
+				_ = h.Transform(data)
+			}
+		})
+	}
+}
+
 // BenchmarkCluster contrasts the single-node parallel transform
 // ("local") against a loopback cluster of in-process workers
 // ("cluster/w=K") at large N. The loopback transport pays the full

@@ -6,9 +6,13 @@
 // family (radix-2, radix-4, split-radix) against the reference DFT and
 // against each other; checks the serving-path APIs
 // (TransformBatch against a transform loop, the real-input path against
-// the complex reference); and checks the distributed four-step path (a
+// the complex reference); checks the distributed four-step path (a
 // 3-worker loopback cluster against the single-node parallel transform
-// across several factorizations). Any section failure exits non-zero.
+// across several factorizations); and checks the arbitrary-N planner —
+// every radix family the mixed-radix/Bluestein router serves, from
+// primes to highly-composite lengths, against the reference DFT with
+// per-family worst relative error and ULP-of-peak. Any section failure
+// exits non-zero.
 //
 // Usage:
 //
@@ -77,6 +81,7 @@ func main() {
 	failures += checkKernels(*minLog, *maxLog, *seed, *workers)
 	failures += checkBatchAndReal(*minLog, *maxLog, *seed, *workers)
 	failures += checkDist(*minLog, *maxLog, *seed)
+	failures += checkArbitraryN(*seed, *workers)
 
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "fftcheck: %d failures\n", failures)
@@ -424,6 +429,86 @@ func checkHostEngine(minLog, maxLog int, seed int64, workers int) int {
 		}
 	}
 	fmt.Printf("\nparallel host engine (%d workers):\n\n", workersLabel(workers))
+	if err := tb.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fftcheck:", err)
+		os.Exit(1)
+	}
+	return failures
+}
+
+// checkArbitraryN verifies the arbitrary-N planner: for every radix
+// family — primes (Bluestein), 3·2^k, 5·2^k, 7·3^j, powers of ten,
+// highly-composite — each length plans through the facade and must
+// match the O(N²) reference DFT within 1e-9 of the spectrum's peak
+// magnitude. The table reports the family's worst relative error both
+// as a ratio and in ULPs of the peak (error / (peak·2⁻⁵²)), the unit
+// accuracy is usually quoted in. Returns the failure count.
+func checkArbitraryN(seed int64, workers int) int {
+	families := []struct {
+		name    string
+		lengths []int
+	}{
+		{"N=1", []int{1}},
+		{"primes", []int{2, 3, 5, 7, 11, 13, 31, 61, 127, 251, 257}},
+		{"3·2^k", []int{3, 6, 12, 48, 192, 768, 1536}},
+		{"5·2^k", []int{5, 10, 40, 160, 640, 1280}},
+		{"7·3^j", []int{7, 21, 63, 189, 567}},
+		{"10^k", []int{10, 100, 1000}},
+		{"highly-composite", []int{120, 720, 840, 1260, 2520}},
+	}
+	tb := &report.Table{Headers: []string{"family", "lengths", "worst N", "max rel error", "max ULP of peak"}}
+	failures := 0
+	for _, fam := range families {
+		var worstRel, worstUlp float64
+		worstN := fam.lengths[0]
+		for _, n := range fam.lengths {
+			h, err := codeletfft.NewHostPlan(n,
+				codeletfft.WithWorkers(workers), codeletfft.WithThreshold(1))
+			if err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "fftcheck: arbitrary-N %s N=%d: %v\n", fam.name, n, err)
+				continue
+			}
+			rng := rand.New(rand.NewSource(seed + int64(n)))
+			x := make([]complex128, n)
+			for i := range x {
+				x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			want := codeletfft.DFT(x)
+			var peak float64
+			for _, v := range want {
+				if m := math.Hypot(real(v), imag(v)); m > peak {
+					peak = m
+				}
+			}
+			if peak == 0 {
+				peak = 1
+			}
+			data := append([]complex128(nil), x...)
+			_ = h.Transform(data)
+			var worst float64
+			for i := range data {
+				d := data[i] - want[i]
+				if v := math.Hypot(real(d), imag(d)); v > worst {
+					worst = v
+				}
+			}
+			rel := worst / peak
+			if rel > worstRel {
+				worstRel = rel
+				worstUlp = worst / (peak * math.Exp2(-52))
+				worstN = n
+			}
+			if rel > 1e-9 {
+				failures++
+				fmt.Fprintf(os.Stderr, "fftcheck: arbitrary-N %s N=%d: relative error %.3g\n",
+					fam.name, n, rel)
+			}
+		}
+		tb.AddRow(fam.name, len(fam.lengths), worstN,
+			fmt.Sprintf("%.3g", worstRel), fmt.Sprintf("%.1f", worstUlp))
+	}
+	fmt.Printf("\narbitrary-N planner vs reference DFT (per radix family):\n\n")
 	if err := tb.Write(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fftcheck:", err)
 		os.Exit(1)

@@ -2,6 +2,7 @@ package codeletfft
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -16,8 +17,18 @@ import (
 // Length-mismatch panics raised by Transform and friends carry an error
 // value wrapping ErrLengthMismatch.
 var (
+	// ErrUnsupportedLength reports a transform length no planner accepts:
+	// non-positive everywhere, non-power-of-two for the real-input and
+	// 2-D paths. Complex 1-D plans support every n ≥ 1, so NewHostPlan
+	// only returns it for n < 1. ErrNotPowerOfTwo wraps it, so
+	// errors.Is(err, ErrUnsupportedLength) also matches every
+	// power-of-two rejection.
+	ErrUnsupportedLength = fft.ErrUnsupportedLength
 	// ErrNotPowerOfTwo reports a transform length that is not a power of
 	// two (or is below the algorithm's minimum).
+	//
+	// Deprecated: test with ErrUnsupportedLength, which ErrNotPowerOfTwo
+	// wraps. Kept so existing errors.Is checks keep passing.
 	ErrNotPowerOfTwo = fft.ErrNotPowerOfTwo
 	// ErrBadTaskSize reports a task size that is not a power of two ≥ 2
 	// or exceeds the transform length.
@@ -103,7 +114,8 @@ type HostOption func(*hostOpts)
 // decomposition (the paper's codelet size). It must be a power of two
 // between 2 and the transform length; 64 — the paper's sweet spot — is
 // the default. For a transform shorter than the default, the task size
-// is clamped to the transform length.
+// is clamped to the transform length. Mixed-radix and Bluestein plans
+// (non-power-of-two lengths) have no task-size knob and ignore it.
 func WithTaskSize(p int) HostOption {
 	return func(o *hostOpts) { o.taskSize = p }
 }
@@ -154,50 +166,94 @@ func (o hostOpts) engine() *host.Engine {
 	return host.New(host.Config{Workers: o.workers, Threshold: o.threshold, Observer: o.observer})
 }
 
-// hostCore is the immutable, shareable part of a HostPlan: the stage
-// decomposition, the twiddle table, and the lazily built real-input
+// hostCore is the immutable, shareable part of a HostPlan: the plan the
+// length routed to, the twiddle table, and the lazily built real-input
 // plan. CachedHostPlan hands the same core to many HostPlans; only the
-// engine differs per plan.
+// engine differs per plan. Exactly one of pl (power-of-two staged
+// decomposition), mixed (mixed-radix Stockham schedule), and blue
+// (Bluestein chirp-z embedding) is non-nil.
 type hostCore struct {
-	pl *fft.Plan
-	w  []complex128
+	n     int
+	pl    *fft.Plan
+	w     []complex128
+	mixed *fft.MixedPlan
+	blue  *fft.BluesteinPlan
 
 	realOnce sync.Once
 	real     *fft.RealPlan
 	realErr  error
 }
 
+// newHostCore routes a length to its planner: powers of two ≥ 2 keep
+// the staged decomposition (bitwise-identical to every prior release),
+// lengths factoring over {2,3,5,7} get the mixed-radix plan, and
+// everything else ≥ 1 gets the Bluestein fallback. Only n < 1 fails.
 func newHostCore(n, taskSize int) (*hostCore, error) {
-	pl, err := fft.NewPlan(n, taskSize)
+	if n >= 2 && n&(n-1) == 0 {
+		pl, err := fft.NewPlan(n, taskSize)
+		if err != nil {
+			return nil, err
+		}
+		return &hostCore{n: n, pl: pl, w: fft.Twiddles(n)}, nil
+	}
+	mp, err := fft.NewMixedPlan(n)
+	if err == nil {
+		return &hostCore{n: n, mixed: mp}, nil
+	}
+	if n < 1 {
+		return nil, err
+	}
+	bp, err := fft.NewBluesteinPlan(n)
 	if err != nil {
 		return nil, err
 	}
-	return &hostCore{pl: pl, w: fft.Twiddles(n)}, nil
+	return &hostCore{n: n, blue: bp}, nil
 }
 
 // realPlan builds the N-point real-input plan on first use. It fails
-// for N < 4, the packing trick's minimum.
+// for N < 4 and non-power-of-two N — the packing trick halves the
+// length, so the real path stays power-of-two-only.
 func (c *hostCore) realPlan() (*fft.RealPlan, error) {
 	c.realOnce.Do(func() {
+		if c.pl == nil {
+			c.realErr = fmt.Errorf("%w: real transforms need a power-of-two length, got %d",
+				fft.ErrNotPowerOfTwo, c.n)
+			return
+		}
 		c.real, c.realErr = fft.NewRealPlan(c.pl.N, c.pl.P)
 	})
 	return c.real, c.realErr
 }
 
-// planKey identifies a cached core: transform length, task size, and
-// the requested kernel (including KernelAuto — an Auto plan and a
-// pinned plan are distinct cache entries, so pinning a kernel for one
-// caller can never change what another caller's Auto plan resolved).
+// planKey identifies a cached core: transform length, task size, the
+// requested kernel (including KernelAuto — an Auto plan and a pinned
+// plan are distinct cache entries, so pinning a kernel for one caller
+// can never change what another caller's Auto plan resolved), and the
+// radix signature of the length, so a mixed-radix core and a Bluestein
+// core can never alias even under hash collisions on n.
 type planKey struct {
 	n, p int
 	kern Kernel
+	sig  uint64
 }
 
 func planKeyHash(k planKey) uint64 {
 	h := uint64(k.n)*0x9e3779b97f4a7c15 ^ uint64(k.p)*0xbf58476d1ce4e5b9 ^ uint64(k.kern)*0xff51afd7ed558ccd
+	h ^= k.sig * 0xd6e8feb86659fd93
 	h ^= h >> 29
 	h *= 0x94d049bb133111eb
 	return h ^ h>>32
+}
+
+// coreKey builds the cache key for a length: non-power-of-two lengths
+// ignore the task size (the mixed/Bluestein planners don't take one),
+// so callers differing only in WithTaskSize share one core.
+func coreKey(n int, o hostOpts) planKey {
+	p := o.taskSize
+	if n < 2 || n&(n-1) != 0 {
+		p = 0
+	}
+	return planKey{n: n, p: p, kern: o.kern, sig: fft.RadixSignature(n)}
 }
 
 // planCache memoizes plan cores across CachedHostPlan calls. 8 shards ×
@@ -234,9 +290,13 @@ type HostPlan struct {
 	kern atomic.Int32 // resolved concrete kernel; 0 until first use
 }
 
-// NewHostPlan builds a host-side plan for n-point transforms. By
-// default it uses 64-point kernels (clamped to n), a GOMAXPROCS
-// parallel engine, and autotuned kernel selection; functional options
+// NewHostPlan builds a host-side plan for n-point transforms, any
+// n ≥ 1. Powers of two run the staged decomposition (64-point kernels
+// by default, clamped to n); other lengths factoring over {2, 3, 5, 7}
+// run the mixed-radix Stockham schedule (WithTaskSize is ignored); and
+// lengths with larger prime factors run the Bluestein chirp-z plan,
+// whose embedded power-of-two convolution still honors WithKernel. All
+// paths use a GOMAXPROCS parallel engine by default; functional options
 // override each knob:
 //
 //	p, err := codeletfft.NewHostPlan(1<<20,
@@ -263,7 +323,7 @@ func NewHostPlan(n int, opts ...HostOption) (*HostPlan, error) {
 // re-measures a shape the process has already tuned.
 func CachedHostPlan(n int, opts ...HostOption) (*HostPlan, error) {
 	o := resolveOpts(n, opts)
-	core, err := planCache.GetOrCreate(planKey{n: n, p: o.taskSize, kern: o.kern}, func() (*hostCore, error) {
+	core, err := planCache.GetOrCreate(coreKey(n, o), func() (*hostCore, error) {
 		return newHostCore(n, o.taskSize)
 	})
 	if err != nil {
@@ -273,10 +333,31 @@ func CachedHostPlan(n int, opts ...HostOption) (*HostPlan, error) {
 }
 
 // N returns the transform length.
-func (h *HostPlan) N() int { return h.core.pl.N }
+func (h *HostPlan) N() int { return h.core.n }
 
-// TaskSize returns the P-point kernel size of the decomposition.
-func (h *HostPlan) TaskSize() int { return h.core.pl.P }
+// TaskSize returns the P-point kernel size of the staged power-of-two
+// decomposition, or 0 for mixed-radix and Bluestein plans, which have
+// no task-size knob.
+func (h *HostPlan) TaskSize() int {
+	if h.core.pl == nil {
+		return 0
+	}
+	return h.core.pl.P
+}
+
+// Algorithm names the decomposition the length routed to: "staged" for
+// powers of two, "mixed-radix[…]" with the radix schedule, or
+// "bluestein[M=…]" with the embedded convolution length.
+func (h *HostPlan) Algorithm() string {
+	switch {
+	case h.core.pl != nil:
+		return "staged"
+	case h.core.mixed != nil:
+		return h.core.mixed.String()
+	default:
+		return h.core.blue.String()
+	}
+}
 
 // Workers returns the worker count the parallel engine resolved.
 func (h *HostPlan) Workers() int { return h.eng.Workers() }
@@ -295,7 +376,20 @@ func (h *HostPlan) kernel() fft.Kernel {
 	if k := h.kern.Load(); k != 0 {
 		return fft.Kernel(k)
 	}
-	k := resolveKernel(h.opts, h.core.pl, h.core.w)
+	var k fft.Kernel
+	switch {
+	case h.core.pl != nil:
+		k = resolveKernel(h.opts, h.core.pl, h.core.w)
+	case h.core.blue != nil:
+		// The Bluestein plan's heavy lifting is its embedded M-point
+		// convolution, so that is the shape the tuner races.
+		k = resolveKernel(h.opts, h.core.blue.Conv, h.core.blue.WConv)
+	default:
+		// Mixed-radix stages have their own codelets per radix; the
+		// kernel family doesn't apply, so Auto resolves to the default
+		// without measuring.
+		k = h.opts.kern.Concrete()
+	}
 	h.kern.Store(int32(k))
 	return k
 }
@@ -317,14 +411,28 @@ func resolveKernel(o hostOpts, pl *fft.Plan, w []complex128) fft.Kernel {
 // ErrLengthMismatch. The returned error is always nil for host plans —
 // it exists so HostPlan satisfies Plan alongside the cluster client.
 func (h *HostPlan) Transform(data []complex128) error {
-	h.eng.TransformKernel(h.core.pl, data, h.core.w, h.kernel())
+	switch {
+	case h.core.pl != nil:
+		h.eng.TransformKernel(h.core.pl, data, h.core.w, h.kernel())
+	case h.core.mixed != nil:
+		h.eng.MixedTransform(h.core.mixed, data)
+	default:
+		h.eng.BluesteinTransform(h.core.blue, data, h.kernel())
+	}
 	return nil
 }
 
 // Inverse applies the inverse FFT in place. See Transform for the
 // error and panic contract.
 func (h *HostPlan) Inverse(data []complex128) error {
-	h.eng.InverseTransformKernel(h.core.pl, data, h.core.w, h.kernel())
+	switch {
+	case h.core.pl != nil:
+		h.eng.InverseTransformKernel(h.core.pl, data, h.core.w, h.kernel())
+	case h.core.mixed != nil:
+		h.eng.MixedInverse(h.core.mixed, data)
+	default:
+		h.eng.BluesteinInverse(h.core.blue, data, h.kernel())
+	}
 	return nil
 }
 
@@ -367,7 +475,14 @@ func (h *HostPlan) ParallelInverse(data []complex128) { _ = h.Inverse(data) }
 // Transform in a loop, and the steady-state path performs no
 // allocation.
 func (h *HostPlan) TransformBatch(batch [][]complex128) error {
-	h.eng.TransformBatchKernel(h.core.pl, batch, h.core.w, h.kernel())
+	switch {
+	case h.core.pl != nil:
+		h.eng.TransformBatchKernel(h.core.pl, batch, h.core.w, h.kernel())
+	case h.core.mixed != nil:
+		h.eng.MixedTransformBatch(h.core.mixed, batch)
+	default:
+		h.eng.BluesteinTransformBatch(h.core.blue, batch, h.kernel())
+	}
 	return nil
 }
 
@@ -375,7 +490,14 @@ func (h *HostPlan) TransformBatch(batch [][]complex128) error {
 // batch through one worker-pool dispatch. Output is bitwise identical
 // to calling Inverse in a loop.
 func (h *HostPlan) InverseBatch(batch [][]complex128) error {
-	h.eng.InverseBatchKernel(h.core.pl, batch, h.core.w, h.kernel())
+	switch {
+	case h.core.pl != nil:
+		h.eng.InverseBatchKernel(h.core.pl, batch, h.core.w, h.kernel())
+	case h.core.mixed != nil:
+		h.eng.MixedInverseBatch(h.core.mixed, batch)
+	default:
+		h.eng.BluesteinInverseBatch(h.core.blue, batch, h.kernel())
+	}
 	return nil
 }
 

@@ -63,8 +63,12 @@ func TestHostPlanMatchesReference(t *testing.T) {
 }
 
 func TestHostPlanRejectsBadShape(t *testing.T) {
-	if _, err := codeletfft.NewHostPlan(100); !errors.Is(err, codeletfft.ErrNotPowerOfTwo) {
-		t.Fatalf("NewHostPlan(100) err = %v, want ErrNotPowerOfTwo", err)
+	// Non-power-of-two lengths now plan successfully (mixed-radix);
+	// only non-positive lengths are rejected.
+	for _, n := range []int{0, -1, -64} {
+		if _, err := codeletfft.NewHostPlan(n); !errors.Is(err, codeletfft.ErrUnsupportedLength) {
+			t.Fatalf("NewHostPlan(%d) err = %v, want ErrUnsupportedLength", n, err)
+		}
 	}
 	if _, err := codeletfft.NewHostPlan(64, codeletfft.WithTaskSize(3)); !errors.Is(err, codeletfft.ErrBadTaskSize) {
 		t.Fatalf("taskSize 3 err = %v, want ErrBadTaskSize", err)
@@ -612,8 +616,14 @@ func TestCachedHostPlan(t *testing.T) {
 		t.Fatalf("distinct kernel did not add an entry: %d -> %d",
 			before, codeletfft.PlanCacheLen())
 	}
-	if _, err := codeletfft.CachedHostPlan(1000); !errors.Is(err, codeletfft.ErrNotPowerOfTwo) {
-		t.Fatalf("CachedHostPlan(1000) err = %v, want ErrNotPowerOfTwo", err)
+	// A non-power-of-two length resolves a mixed-radix core (distinct
+	// cache entry — the radix signature keeps it from aliasing staged
+	// cores); a negative length still fails.
+	if h, err := codeletfft.CachedHostPlan(1000); err != nil || h.N() != 1000 {
+		t.Fatalf("CachedHostPlan(1000) = %v, %v, want a 1000-point plan", h, err)
+	}
+	if _, err := codeletfft.CachedHostPlan(-8); !errors.Is(err, codeletfft.ErrUnsupportedLength) {
+		t.Fatalf("CachedHostPlan(-8) err = %v, want ErrUnsupportedLength", err)
 	}
 	x := noise(1<<9, 13)
 	a := append([]complex128(nil), x...)

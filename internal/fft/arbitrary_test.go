@@ -1,0 +1,387 @@
+// The arbitrary-N correctness matrix: every radix family the planner
+// claims to support — pure primes (Bluestein), 3·2^k, 5·2^k, 7·3^j,
+// powers of ten, highly-composite lengths, and the degenerate N=1 —
+// is checked against the O(N²) reference DFT and against the
+// metamorphic identities any DFT must satisfy. This is the ground
+// truth behind the facade's "any N ≥ 1 plans successfully" contract.
+package fft_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"codeletfft/internal/fft"
+)
+
+// radixFamily is one named row of the correctness matrix.
+type radixFamily struct {
+	name    string
+	lengths []int
+}
+
+// primesTo257 lists every prime ≤ 257 — all of them exercise the
+// Bluestein path except 2, 3, 5 and 7, which have direct codelets.
+func primesTo257() []int {
+	var ps []int
+	for n := 2; n <= 257; n++ {
+		isPrime := true
+		for d := 2; d*d <= n; d++ {
+			if n%d == 0 {
+				isPrime = false
+				break
+			}
+		}
+		if isPrime {
+			ps = append(ps, n)
+		}
+	}
+	return ps
+}
+
+// arbitraryNMatrix is the shared N matrix for the correctness and
+// metamorphic suites.
+func arbitraryNMatrix() []radixFamily {
+	var p3, p5, p7 []int
+	for k := 0; k <= 9; k++ {
+		p3 = append(p3, 3<<k)
+	}
+	for k := 0; k <= 8; k++ {
+		p5 = append(p5, 5<<k)
+	}
+	for j, v := 0, 7; j <= 4; j, v = j+1, v*3 {
+		p7 = append(p7, v)
+	}
+	return []radixFamily{
+		{"identity", []int{1}},
+		{"primes", primesTo257()},
+		{"3x2^k", p3},
+		{"5x2^k", p5},
+		{"7x3^j", p7},
+		{"10^k", []int{10, 100, 1000}},
+		{"highly-composite", []int{120, 720, 840, 1260, 2520}},
+	}
+}
+
+// planAny returns a serial transform/inverse pair for any n ≥ 1, using
+// the mixed-radix plan when N factors over {2,3,5,7} and Bluestein
+// otherwise — the same routing the facade applies.
+func planAny(t *testing.T, n int) (forward, inverse func([]complex128), desc string) {
+	t.Helper()
+	if mp, err := fft.NewMixedPlan(n); err == nil {
+		return mp.Transform, mp.InverseTransform, mp.String()
+	}
+	bp, err := fft.NewBluesteinPlan(n)
+	if err != nil {
+		t.Fatalf("no plan for n=%d: %v", n, err)
+	}
+	return bp.Transform, bp.InverseTransform, bp.String()
+}
+
+// peakMag returns the largest |X[k]| — the scale relative errors are
+// measured against.
+func peakMag(x []complex128) float64 {
+	var peak float64
+	for _, v := range x {
+		if m := math.Hypot(real(v), imag(v)); m > peak {
+			peak = m
+		}
+	}
+	return peak
+}
+
+// TestArbitraryNMatrix compares every matrix length against the O(N²)
+// reference DFT at a relative tolerance of 1e-9 of the spectrum's peak
+// magnitude — the acceptance bar for the whole arbitrary-N feature.
+func TestArbitraryNMatrix(t *testing.T) {
+	for _, fam := range arbitraryNMatrix() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			for _, n := range fam.lengths {
+				forward, _, desc := planAny(t, n)
+				x := randSignal(n, int64(n))
+				want := fft.DFT(x)
+				got := append([]complex128(nil), x...)
+				forward(got)
+				peak := peakMag(want)
+				if peak == 0 {
+					peak = 1
+				}
+				if e := fft.MaxError(got, want); e > 1e-9*peak {
+					t.Errorf("n=%d (%s): max error %g exceeds 1e-9 of peak %g", n, desc, e, peak)
+				}
+			}
+		})
+	}
+}
+
+// TestArbitraryNMetamorphic checks the DFT identities — linearity,
+// Parseval, the impulse response, the circular-shift theorem, and the
+// forward/inverse round trip — over the same matrix, so correctness
+// does not rest on the reference implementation alone.
+func TestArbitraryNMetamorphic(t *testing.T) {
+	for _, fam := range arbitraryNMatrix() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			for _, n := range fam.lengths {
+				forward, inverse, desc := planAny(t, n)
+				tf := func(x []complex128) []complex128 {
+					out := append([]complex128(nil), x...)
+					forward(out)
+					return out
+				}
+				x := randSignal(n, int64(7*n+1))
+				y := randSignal(n, int64(7*n+2))
+
+				// Linearity: T(a·x + b·y) = a·T(x) + b·T(y).
+				a, b := complex(1.25, -0.5), complex(-0.75, 2.0)
+				mixed := make([]complex128, n)
+				for i := range mixed {
+					mixed[i] = a*x[i] + b*y[i]
+				}
+				got := tf(mixed)
+				tx, ty := tf(x), tf(y)
+				want := make([]complex128, n)
+				for i := range want {
+					want[i] = a*tx[i] + b*ty[i]
+				}
+				if e := fft.MaxError(got, want); e > 1e-9*float64(n) {
+					t.Errorf("n=%d (%s): linearity violated, error %g", n, desc, e)
+				}
+
+				// Parseval: Σ|x|² = Σ|X|²/N.
+				var timeE, freqE float64
+				for i := range x {
+					timeE += cAbs2(x[i])
+					freqE += cAbs2(tx[i])
+				}
+				freqE /= float64(n)
+				if rel := math.Abs(timeE-freqE) / timeE; rel > 1e-9 {
+					t.Errorf("n=%d (%s): Parseval violated, relative error %g", n, desc, rel)
+				}
+
+				// Impulse: T(δ₀) is the all-ones vector.
+				imp := make([]complex128, n)
+				imp[0] = 1
+				for k, v := range tf(imp) {
+					if d := math.Hypot(real(v)-1, imag(v)); d > 1e-9 {
+						t.Fatalf("n=%d (%s): impulse bin %d = %v, want 1", n, desc, k, v)
+					}
+				}
+
+				// Circular shift: advancing x by s multiplies bin k by
+				// exp(2πi·k·s/N).
+				if n > 1 {
+					s := 1 + (n-2)%5
+					shifted := make([]complex128, n)
+					for i := range shifted {
+						shifted[i] = x[(i+s)%n]
+					}
+					Y := tf(shifted)
+					for k := range Y {
+						ang := 2 * math.Pi * float64(k) * float64(s) / float64(n)
+						sw := tx[k] * complex(math.Cos(ang), math.Sin(ang))
+						if d := math.Hypot(real(Y[k])-real(sw), imag(Y[k])-imag(sw)); d > 1e-9*float64(n) {
+							t.Fatalf("n=%d (%s) s=%d: shift theorem violated at bin %d: got %v want %v",
+								n, desc, s, k, Y[k], sw)
+						}
+					}
+				}
+
+				// Round trip: inverse(forward(x)) = x.
+				rt := append([]complex128(nil), x...)
+				forward(rt)
+				inverse(rt)
+				if e := fft.MaxError(rt, x); e > 1e-9 {
+					t.Errorf("n=%d (%s): round-trip error %g", n, desc, e)
+				}
+			}
+		})
+	}
+}
+
+// TestFactor pins the factorization policy: radix-4 first, at most one
+// radix-2, then 3s, 5s, 7s, with anything left reported as the
+// cofactor that routes the length to Bluestein.
+func TestFactor(t *testing.T) {
+	cases := []struct {
+		n        int
+		radices  []int
+		cofactor int
+	}{
+		{1, nil, 1},
+		{2, []int{2}, 1},
+		{4, []int{4}, 1},
+		{8, []int{4, 2}, 1},
+		{12, []int{4, 3}, 1},
+		{360, []int{4, 2, 3, 3, 5}, 1},
+		{1000, []int{4, 2, 5, 5, 5}, 1},
+		{49, []int{7, 7}, 1},
+		{11, nil, 11},
+		{22, []int{2}, 11},
+		{143, nil, 143},
+	}
+	for _, c := range cases {
+		radices, cofactor := fft.Factor(c.n)
+		if cofactor != c.cofactor || len(radices) != len(c.radices) {
+			t.Fatalf("Factor(%d) = %v, %d, want %v, %d", c.n, radices, cofactor, c.radices, c.cofactor)
+		}
+		for i := range radices {
+			if radices[i] != c.radices[i] {
+				t.Fatalf("Factor(%d) = %v, want %v", c.n, radices, c.radices)
+			}
+		}
+	}
+}
+
+// TestMixedPlanInvariants checks the structural invariants every
+// mixed-radix plan must satisfy: the stage radices multiply back to N,
+// each stage covers the whole vector, and the twiddle tables have the
+// documented (R−1)·M layout.
+func TestMixedPlanInvariants(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 60, 360, 1000, 2520, 6144} {
+		mp, err := fft.NewMixedPlan(n)
+		if err != nil {
+			t.Fatalf("NewMixedPlan(%d): %v", n, err)
+		}
+		if mp.N != n {
+			t.Fatalf("plan for %d reports N=%d", n, mp.N)
+		}
+		prod := 1
+		for _, r := range mp.Radices {
+			prod *= r
+		}
+		if prod != n {
+			t.Fatalf("n=%d: radices %v multiply to %d", n, mp.Radices, prod)
+		}
+		if len(mp.Stages) != len(mp.Radices) {
+			t.Fatalf("n=%d: %d stages for %d radices", n, len(mp.Stages), len(mp.Radices))
+		}
+		for i, st := range mp.Stages {
+			if st.R*st.M*st.S != n {
+				t.Fatalf("n=%d stage %d: R·M·S = %d·%d·%d ≠ N", n, i, st.R, st.M, st.S)
+			}
+			if want := (st.R - 1) * st.M; len(st.Tw) != want {
+				t.Fatalf("n=%d stage %d: %d twiddles, want %d", n, i, len(st.Tw), want)
+			}
+			if st.Units() != st.M*st.S {
+				t.Fatalf("n=%d stage %d: Units() = %d, want %d", n, i, st.Units(), st.M*st.S)
+			}
+		}
+	}
+	if _, err := fft.NewMixedPlan(11); !errors.Is(err, fft.ErrUnsupportedLength) {
+		t.Fatalf("NewMixedPlan(11) err = %v, want ErrUnsupportedLength", err)
+	}
+	if _, err := fft.NewMixedPlan(0); !errors.Is(err, fft.ErrUnsupportedLength) {
+		t.Fatalf("NewMixedPlan(0) err = %v, want ErrUnsupportedLength", err)
+	}
+}
+
+// TestRadixSignature pins the packed multiplicity encoding the plan
+// cache keys on: distinct factorizations must hash to distinct
+// signatures, and the Bluestein bit must separate prime lengths from
+// smooth ones.
+func TestRadixSignature(t *testing.T) {
+	if got := fft.RadixSignature(0); got != 0 {
+		t.Fatalf("RadixSignature(0) = %#x, want 0", got)
+	}
+	if got := fft.RadixSignature(1); got != 0 {
+		t.Fatalf("RadixSignature(1) = %#x, want 0", got)
+	}
+	// 360 = 2^3·3^2·5: multiplicities 3, 2, 1, 0.
+	if got, want := fft.RadixSignature(360), uint64(3)|uint64(2)<<8|uint64(1)<<16; got != want {
+		t.Fatalf("RadixSignature(360) = %#x, want %#x", got, want)
+	}
+	if got := fft.RadixSignature(11); got>>63 != 1 {
+		t.Fatalf("RadixSignature(11) = %#x, want the Bluestein bit set", got)
+	}
+	seen := map[uint64]int{}
+	for _, n := range []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 360, 1000} {
+		sig := fft.RadixSignature(n)
+		if prev, dup := seen[sig]; dup {
+			t.Fatalf("RadixSignature collision: %d and %d both map to %#x", prev, n, sig)
+		}
+		seen[sig] = n
+	}
+}
+
+// TestBluesteinPlanShape checks the chirp-z embedding: the convolution
+// length M is the smallest power of two ≥ 2N−1, and the plan transforms
+// prime and near-prime lengths that have no smooth factorization.
+func TestBluesteinPlanShape(t *testing.T) {
+	for _, c := range []struct{ n, m int }{
+		{2, 4}, {3, 8}, {11, 32}, {17, 64}, {127, 256}, {257, 1024},
+	} {
+		bp, err := fft.NewBluesteinPlan(c.n)
+		if err != nil {
+			t.Fatalf("NewBluesteinPlan(%d): %v", c.n, err)
+		}
+		if bp.N != c.n || bp.M != c.m {
+			t.Fatalf("NewBluesteinPlan(%d) = N=%d M=%d, want M=%d", c.n, bp.N, bp.M, c.m)
+		}
+		if len(bp.Chirp) != c.n || len(bp.BHat) != c.m {
+			t.Fatalf("n=%d: chirp/filter tables are %d/%d long, want %d/%d",
+				c.n, len(bp.Chirp), len(bp.BHat), c.n, c.m)
+		}
+	}
+	if _, err := fft.NewBluesteinPlan(0); !errors.Is(err, fft.ErrUnsupportedLength) {
+		t.Fatalf("NewBluesteinPlan(0) err = %v, want ErrUnsupportedLength", err)
+	}
+}
+
+// TestBluesteinLargePrime runs the one transform size the O(N²)
+// reference cannot reach — the prime 2^20+7 — and validates it through
+// Parseval plus a forward/inverse round trip.
+func TestBluesteinLargePrime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large prime transform skipped in -short mode")
+	}
+	const n = 1<<20 + 7
+	bp, err := fft.NewBluesteinPlan(n)
+	if err != nil {
+		t.Fatalf("NewBluesteinPlan(%d): %v", n, err)
+	}
+	x := randSignal(n, 20)
+	data := append([]complex128(nil), x...)
+	bp.Transform(data)
+	var timeE, freqE float64
+	for i := range x {
+		timeE += cAbs2(x[i])
+		freqE += cAbs2(data[i])
+	}
+	freqE /= float64(n)
+	if rel := math.Abs(timeE-freqE) / timeE; rel > 1e-9 {
+		t.Errorf("n=%d: Parseval violated, relative error %g", n, rel)
+	}
+	bp.InverseTransform(data)
+	if e := fft.MaxError(data, x); e > 1e-8 {
+		t.Errorf("n=%d: round-trip error %g", n, e)
+	}
+}
+
+// TestErrUnsupportedLengthHierarchy is the sentinel regression test:
+// ErrNotPowerOfTwo wraps ErrUnsupportedLength (so legacy errors.Is
+// checks keep matching pow2-only failures), but the broader sentinel
+// does NOT match the narrower one in reverse.
+func TestErrUnsupportedLengthHierarchy(t *testing.T) {
+	if !errors.Is(fft.ErrNotPowerOfTwo, fft.ErrUnsupportedLength) {
+		t.Fatal("ErrNotPowerOfTwo must wrap ErrUnsupportedLength")
+	}
+	if errors.Is(fft.ErrUnsupportedLength, fft.ErrNotPowerOfTwo) {
+		t.Fatal("ErrUnsupportedLength must not match ErrNotPowerOfTwo")
+	}
+	// A staged-plan shape error matches both sentinels.
+	_, err := fft.NewPlan(100, 4)
+	if !errors.Is(err, fft.ErrNotPowerOfTwo) || !errors.Is(err, fft.ErrUnsupportedLength) {
+		t.Fatalf("NewPlan(100, 4) err = %v, want to match both sentinels", err)
+	}
+	// A mixed-radix cofactor error matches only the broad sentinel:
+	// 143 = 11·13 is not a power-of-two problem.
+	_, err = fft.NewMixedPlan(143)
+	if !errors.Is(err, fft.ErrUnsupportedLength) {
+		t.Fatalf("NewMixedPlan(143) err = %v, want ErrUnsupportedLength", err)
+	}
+	if errors.Is(err, fft.ErrNotPowerOfTwo) {
+		t.Fatalf("NewMixedPlan(143) err = %v must not match ErrNotPowerOfTwo", err)
+	}
+}

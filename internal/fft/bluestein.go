@@ -1,0 +1,136 @@
+// Bluestein (chirp-z) planning: an arbitrary-N DFT as a circular
+// convolution of power-of-two length, covering the lengths the
+// mixed-radix planner cannot — anything with a prime factor outside
+// {2, 3, 5, 7}. With the chirp c[t] = exp(-iπ·t²/N), the identity
+// t·k = (t² + k² - (k-t)²)/2 rewrites the DFT as
+//
+//	X[k] = c[k] · Σ_t (x[t]·c[t]) · conj(c[k-t])
+//
+// — a linear convolution of the chirp-premultiplied input with the
+// conjugate chirp, embedded in a circular convolution of length
+// M = 2^⌈log2(2N-1)⌉ and executed with the existing staged
+// power-of-two plan (so the kernel family, autotuner, and parallel
+// engine all apply to the heavy lifting unchanged). The filter's
+// spectrum is fixed per plan and precomputed once.
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// BluesteinPlan computes N-point DFTs for any N ≥ 1 via the chirp-z
+// embedding. It is immutable after construction and safe for concurrent
+// use on distinct buffers.
+type BluesteinPlan struct {
+	N int // transform length
+	M int // convolution length: the smallest power of two ≥ max(2N-1, 2)
+
+	// Conv is the staged M-point plan executing the embedded
+	// convolution and WConv its twiddle table; the host engine runs
+	// them with the caller's kernel choice.
+	Conv  *Plan
+	WConv []complex128
+
+	// Chirp[t] = exp(-iπ·t²/N) for t ∈ [0, N) — the pre- and
+	// post-multiplier. The squared index is reduced mod 2N in integer
+	// arithmetic before the angle is formed, so the chirp stays
+	// accurate at large t.
+	Chirp []complex128
+
+	// BHat is the forward M-point FFT of the wrapped conjugate-chirp
+	// filter b (b[t] = conj(Chirp[t]), mirrored into b[M-t]).
+	BHat []complex128
+}
+
+// NewBluesteinPlan builds the chirp-z plan for n-point transforms. It
+// errors, wrapping ErrUnsupportedLength, only for n < 1.
+func NewBluesteinPlan(n int) (*BluesteinPlan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: bluestein plan needs n ≥ 1, got %d", ErrUnsupportedLength, n)
+	}
+	m := 2
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	conv, err := NewPlan(m, min(64, m))
+	if err != nil {
+		return nil, err
+	}
+	w := Twiddles(m)
+
+	chirp := make([]complex128, n)
+	for t := 0; t < n; t++ {
+		e := int64(t) * int64(t) % int64(2*n)
+		ang := -math.Pi * float64(e) / float64(n)
+		chirp[t] = complex(math.Cos(ang), math.Sin(ang))
+	}
+
+	b := make([]complex128, m)
+	b[0] = 1 // conj(chirp[0])
+	for t := 1; t < n; t++ {
+		c := complex(real(chirp[t]), -imag(chirp[t]))
+		b[t] = c
+		b[m-t] = c
+	}
+	conv.Transform(b, w)
+
+	return &BluesteinPlan{N: n, M: m, Conv: conv, WConv: w, Chirp: chirp, BHat: b}, nil
+}
+
+// String names the plan for logs and plan descriptions.
+func (bp *BluesteinPlan) String() string {
+	return fmt.Sprintf("bluestein[M=%d]", bp.M)
+}
+
+// Transform applies the forward DFT in place, allocating the M-element
+// convolution buffer. Wrong-length data panics with an error wrapping
+// ErrLengthMismatch.
+func (bp *BluesteinPlan) Transform(data []complex128) {
+	bp.TransformWith(data, make([]complex128, bp.M), NewScratch(bp.Conv))
+}
+
+// TransformWith is Transform with caller-supplied buffers: work must
+// have length M (its prior contents are ignored) and sc must come from
+// NewScratch(bp.Conv).
+func (bp *BluesteinPlan) TransformWith(data, work []complex128, sc *Scratch) {
+	if len(data) != bp.N {
+		panic(LengthError("data", len(data), bp.N))
+	}
+	if len(work) != bp.M {
+		panic(LengthError("work", len(work), bp.M))
+	}
+	for t := 0; t < bp.N; t++ {
+		work[t] = data[t] * bp.Chirp[t]
+	}
+	for t := bp.N; t < bp.M; t++ {
+		work[t] = 0
+	}
+	bp.Conv.TransformWith(work, bp.WConv, sc)
+	for i := range work {
+		work[i] *= bp.BHat[i]
+	}
+	bp.Conv.InverseTransformWith(work, bp.WConv, sc)
+	for k := 0; k < bp.N; k++ {
+		data[k] = work[k] * bp.Chirp[k]
+	}
+}
+
+// InverseTransform applies the inverse DFT in place via the conjugation
+// identity, allocating the convolution buffer.
+func (bp *BluesteinPlan) InverseTransform(data []complex128) {
+	bp.InverseTransformWith(data, make([]complex128, bp.M), NewScratch(bp.Conv))
+}
+
+// InverseTransformWith is InverseTransform with caller-supplied
+// buffers.
+func (bp *BluesteinPlan) InverseTransformWith(data, work []complex128, sc *Scratch) {
+	for i, v := range data {
+		data[i] = complex(real(v), -imag(v))
+	}
+	bp.TransformWith(data, work, sc)
+	inv := 1 / float64(bp.N)
+	for i, v := range data {
+		data[i] = complex(real(v)*inv, -imag(v)*inv)
+	}
+}

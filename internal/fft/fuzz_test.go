@@ -1,12 +1,17 @@
-// Native Go fuzz targets for the staged FFT. Both targets derive a
-// power-of-two complex input from raw fuzz bytes (values bounded in
-// [-1,1) so tolerances stay meaningful) and a plan shape from the fuzzed
-// parameters, then check the two invariants the rest of the repo leans
-// on: forward+inverse is the identity, and the parallel host engine is
-// bitwise-indistinguishable from the serial path.
+// Native Go fuzz targets for the transform engines. The staged targets
+// derive a power-of-two complex input from raw fuzz bytes (values
+// bounded in [-1,1) so tolerances stay meaningful) and a plan shape
+// from the fuzzed parameters, then check the two invariants the rest of
+// the repo leans on: forward+inverse is the identity, and the parallel
+// host engine is bitwise-indistinguishable from the serial path.
+// FuzzMixedRadixRoundTrip and FuzzBluesteinMatchesDFT extend the same
+// properties to arbitrary lengths — any {2,3,5,7}-smooth N for the
+// mixed-radix plan, any N ≥ 1 for the chirp-z embedding — and
+// FuzzTransformRoundTrip carries an arbitrary-length section of its
+// own so the legacy corpus also exercises the non-power-of-two router.
 //
-// CI runs a short -fuzz smoke on FuzzTransformRoundTrip; both targets
-// also run their seed corpus under plain `go test`.
+// CI runs short -fuzz smokes on each target; all targets also run
+// their seed corpus under plain `go test`.
 package fft_test
 
 import (
@@ -69,6 +74,122 @@ func FuzzTransformRoundTrip(f *testing.F) {
 		pl.InverseTransform(data, w)
 		if e := fft.MaxError(data, x); e > 1e-9 {
 			t.Fatalf("N=%d P=%d: round-trip error %g", n, p, e)
+		}
+
+		// Arbitrary-length section: re-cut the same bytes to a length
+		// that is usually not a power of two and round-trip it through
+		// the mixed-radix/Bluestein router the facade uses.
+		nAny := len(raw)%1023 + 1
+		y := fuzzAnySignal(raw, nAny)
+		rt := append([]complex128(nil), y...)
+		anyForward(t, nAny)(rt)
+		anyInverse(t, nAny)(rt)
+		if e := fft.MaxError(rt, y); e > 1e-9 {
+			t.Fatalf("N=%d: arbitrary-length round-trip error %g", nAny, e)
+		}
+	})
+}
+
+// fuzzAnySignal cycles raw bytes into an n-length complex signal with
+// components in [-1,1). A nil or empty raw still yields a valid signal.
+func fuzzAnySignal(raw []byte, n int) []complex128 {
+	x := make([]complex128, n)
+	if len(raw) == 0 {
+		raw = []byte{0x55}
+	}
+	for i := range x {
+		re := raw[(2*i)%len(raw)]
+		im := raw[(2*i+1)%len(raw)]
+		x[i] = complex(float64(int8(re))/128, float64(int8(im))/128)
+	}
+	return x
+}
+
+// anyForward and anyInverse route n through the same plan selection the
+// facade applies: mixed-radix when N is {2,3,5,7}-smooth, Bluestein
+// otherwise.
+func anyForward(t *testing.T, n int) func([]complex128) {
+	t.Helper()
+	if mp, err := fft.NewMixedPlan(n); err == nil {
+		return mp.Transform
+	}
+	bp, err := fft.NewBluesteinPlan(n)
+	if err != nil {
+		t.Fatalf("no plan for n=%d: %v", n, err)
+	}
+	return bp.Transform
+}
+
+func anyInverse(t *testing.T, n int) func([]complex128) {
+	t.Helper()
+	if mp, err := fft.NewMixedPlan(n); err == nil {
+		return mp.InverseTransform
+	}
+	bp, err := fft.NewBluesteinPlan(n)
+	if err != nil {
+		t.Fatalf("no plan for n=%d: %v", n, err)
+	}
+	return bp.InverseTransform
+}
+
+// FuzzMixedRadixRoundTrip fuzzes the mixed-radix plan over arbitrary
+// {2,3,5,7}-smooth lengths: the fuzzed length is reduced to its smooth
+// part (dividing out the Bluestein cofactor), the signal round-trips
+// through forward+inverse, and small lengths are additionally checked
+// against the O(N²) reference DFT.
+func FuzzMixedRadixRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint16(12))
+	f.Add(make([]byte, 64), uint16(360))
+	f.Add([]byte{255, 0, 128, 64}, uint16(1000))
+	f.Add([]byte{9, 8, 7, 6, 5}, uint16(1))
+	f.Add([]byte{42}, uint16(2047))
+	f.Fuzz(func(t *testing.T, raw []byte, n16 uint16) {
+		n := int(n16)%2048 + 1
+		_, cofactor := fft.Factor(n)
+		n /= cofactor // keep the {2,3,5,7}-smooth part, ≥ 1 by construction
+		mp, err := fft.NewMixedPlan(n)
+		if err != nil {
+			t.Fatalf("NewMixedPlan(%d): %v", n, err)
+		}
+		x := fuzzAnySignal(raw, n)
+		data := append([]complex128(nil), x...)
+		mp.Transform(data)
+		if n <= 512 {
+			if e := fft.MaxError(data, fft.DFT(x)); e > 1e-9*float64(n) {
+				t.Fatalf("N=%d: mixed-radix vs DFT error %g", n, e)
+			}
+		}
+		mp.InverseTransform(data)
+		if e := fft.MaxError(data, x); e > 1e-9 {
+			t.Fatalf("N=%d: round-trip error %g", n, e)
+		}
+	})
+}
+
+// FuzzBluesteinMatchesDFT fuzzes the chirp-z plan over every length in
+// [1, 600] — prime, smooth, and everything between — against the
+// reference DFT, then checks the forward/inverse identity.
+func FuzzBluesteinMatchesDFT(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint16(11))
+	f.Add(make([]byte, 32), uint16(127))
+	f.Add([]byte{255, 0, 128, 64}, uint16(257))
+	f.Add([]byte{17}, uint16(1))
+	f.Add([]byte{3, 1, 4, 1, 5, 9}, uint16(599))
+	f.Fuzz(func(t *testing.T, raw []byte, n16 uint16) {
+		n := int(n16)%600 + 1
+		bp, err := fft.NewBluesteinPlan(n)
+		if err != nil {
+			t.Fatalf("NewBluesteinPlan(%d): %v", n, err)
+		}
+		x := fuzzAnySignal(raw, n)
+		data := append([]complex128(nil), x...)
+		bp.Transform(data)
+		if e := fft.MaxError(data, fft.DFT(x)); e > 1e-9*float64(n) {
+			t.Fatalf("N=%d: Bluestein vs DFT error %g", n, e)
+		}
+		bp.InverseTransform(data)
+		if e := fft.MaxError(data, x); e > 1e-9 {
+			t.Fatalf("N=%d: round-trip error %g", n, e)
 		}
 	})
 }

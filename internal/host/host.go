@@ -38,6 +38,9 @@ const (
 	PassScale  = "scale"  // inverse-path conjugate-and-scale sweep
 	PassRows   = "rows"   // 2-D row-FFT pass
 	PassCols   = "cols"   // 2-D column-FFT pass
+
+	PassStageMixed = "stage_mixed" // one mixed-radix Stockham stage
+	PassChirp      = "chirp"       // Bluestein chirp pre/post-multiply sweep
 )
 
 // Observer receives execution telemetry from an Engine: one

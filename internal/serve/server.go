@@ -52,8 +52,9 @@ const (
 // Config tunes a Server. The zero value of every field selects the
 // package default.
 type Config struct {
-	// MinN and MaxN bound the accepted transform length (both powers of
-	// two, inclusive).
+	// MinN and MaxN bound the accepted transform length (inclusive).
+	// Complex transforms accept any length in the range; real
+	// transforms additionally require a power of two ≥ 4.
 	MinN, MaxN int
 	// BatchWindow is how long the first request of a shape waits for
 	// same-shape company before its batch flushes. Negative disables
@@ -364,15 +365,21 @@ func shapeErrorf(format string, args ...any) error {
 }
 
 // checkN validates a transform length against the server's bounds.
+// Complex kinds serve any length the facade plans (any n ≥ 1, via
+// mixed-radix or Bluestein); real kinds keep the packed path's
+// power-of-two ≥ 4 requirement. Every rejection is a shapeError — a
+// 400, never a 500 — because an unservable length is a client mistake,
+// not a daemon fault.
 func (s *Server) checkN(n int, kind Kind) error {
-	if n < 2 || bits.OnesCount(uint(n)) != 1 {
-		return shapeErrorf("transform length %d is not a power of two", n)
+	if kind == KindReal || kind == KindRealInverse {
+		if n < 4 || bits.OnesCount(uint(n)) != 1 {
+			return shapeErrorf("real transforms need a power-of-two length ≥ 4, got %d", n)
+		}
+	} else if n < 1 {
+		return shapeErrorf("transform length %d is not positive", n)
 	}
 	if n < s.cfg.MinN || n > s.cfg.MaxN {
 		return shapeErrorf("transform length %d outside served range [%d, %d]", n, s.cfg.MinN, s.cfg.MaxN)
-	}
-	if (kind == KindReal || kind == KindRealInverse) && n < 4 {
-		return shapeErrorf("real transforms need length ≥ 4, got %d", n)
 	}
 	return nil
 }

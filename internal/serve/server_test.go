@@ -345,7 +345,7 @@ func TestPanicIsolation(t *testing.T) {
 func TestBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{BatchWindow: -1, MaxN: 1 << 12})
 	for name, req := range map[string]jsonRequest{
-		"not a power of two": {Kind: "forward", Re: make([]float64, 100)},
+		"real non-pow2":      {Kind: "real", Re: make([]float64, 100)},
 		"unknown kind":       {Kind: "sideways", Re: make([]float64, 64)},
 		"too large":          {Kind: "forward", Re: make([]float64, 1<<13)},
 		"too small":          {Kind: "forward", Re: make([]float64, 2)},
@@ -357,8 +357,9 @@ func TestBadRequests(t *testing.T) {
 			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
 		}
 	}
-	// Binary: a structurally valid frame with an unservable length.
-	enc, err := EncodeFrame(Frame{Kind: KindForward, Complex: make([]complex128, 96)})
+	// Binary: a structurally valid frame with an unservable length
+	// (below MinN).
+	enc, err := EncodeFrame(Frame{Kind: KindForward, Complex: make([]complex128, 3)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func TestBadRequests(t *testing.T) {
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("binary non-pow2: status = %d, want 400", resp.StatusCode)
+		t.Fatalf("binary below MinN: status = %d, want 400", resp.StatusCode)
 	}
 }
 
@@ -394,7 +395,7 @@ func TestMetricsAfterKnownMix(t *testing.T) {
 			t.Fatalf("binary inverse %d: status %d", i, resp.StatusCode)
 		}
 	}
-	if resp, _ := postJSON(t, ts.URL, jsonRequest{Kind: "forward", Re: make([]float64, 100)}); resp.StatusCode != http.StatusBadRequest {
+	if resp, _ := postJSON(t, ts.URL, jsonRequest{Kind: "forward", Re: make([]float64, 5)}); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad request: status %d, want 400", resp.StatusCode)
 	}
 

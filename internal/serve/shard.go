@@ -115,14 +115,26 @@ func (s *Server) execShard(f ShardFrame) (err error) {
 		return err
 	}
 	if f.Op == OpColumns {
+		// Power-of-two moduli keep the compact half table (bitwise
+		// compatibility with the coordinator's serial reference);
+		// other moduli — legal since the codec accepts any totalN
+		// that is a multiple of vecLen — use the full table.
+		pow2 := fft.Log2(f.TotalN) >= 0
 		w, err := twiddleCache.GetOrCreate(f.TotalN, func() ([]complex128, error) {
-			return fft.Twiddles(f.TotalN), nil
+			if pow2 {
+				return fft.Twiddles(f.TotalN), nil
+			}
+			return fft.TwiddlesAny(f.TotalN), nil
 		})
 		if err != nil {
 			return err
 		}
 		for v := range batch {
-			fft.TwiddleScale(batch[v], w, f.Start+v, f.TotalN)
+			if pow2 {
+				fft.TwiddleScale(batch[v], w, f.Start+v, f.TotalN)
+			} else {
+				fft.TwiddleScaleAny(batch[v], w, f.Start+v, f.TotalN)
+			}
 		}
 	}
 	return nil

@@ -23,20 +23,22 @@
 // payload.
 //
 // Decoding is strict, mirroring DecodeFrame: bad magic/version/op,
-// non-zero reserved bytes, vecLen that is not a power of two ≥ 2, a
-// total element count over MaxFrameElems, an OpColumns header whose
-// totalN is not a power of two or whose start+vecCount exceeds
-// totalN/vecLen, or a payload of the wrong byte length are all rejected
-// with errors wrapping ErrBadFrame — never a panic, the property pinned
-// by FuzzShardFrame. Encoding is canonical: re-encoding a decoded frame
-// reproduces the input bytes exactly.
+// non-zero reserved bytes, vecLen < 1, a total element count over
+// MaxFrameElems, an OpColumns header whose totalN is not a positive
+// multiple of vecLen or whose start+vecCount exceeds totalN/vecLen, or
+// a payload of the wrong byte length are all rejected with errors
+// wrapping ErrBadFrame — never a panic, the property pinned by
+// FuzzShardFrame. Lengths need not be powers of two: a worker plans any
+// vecLen through the facade's mixed-radix/Bluestein routing, and
+// non-power-of-two totalN twiddles use the full general-modulus table.
+// Encoding is canonical: re-encoding a decoded frame reproduces the
+// input bytes exactly.
 package serve
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"math/bits"
 )
 
 // ShardOp selects what a worker does with a shard frame's vectors.
@@ -100,8 +102,8 @@ func validateShard(op ShardOp, vecLen, vecCount, totalN, start int) error {
 	if op >= shardOpCount {
 		return fmt.Errorf("%w: unknown shard op %d", ErrBadFrame, op)
 	}
-	if vecLen < 2 || bits.OnesCount(uint(vecLen)) != 1 {
-		return fmt.Errorf("%w: vector length %d is not a power of two ≥ 2", ErrBadFrame, vecLen)
+	if vecLen < 1 {
+		return fmt.Errorf("%w: vector length %d is not positive", ErrBadFrame, vecLen)
 	}
 	if vecCount < 1 {
 		return fmt.Errorf("%w: shard carries no vectors", ErrBadFrame)
@@ -111,8 +113,9 @@ func validateShard(op ShardOp, vecLen, vecCount, totalN, start int) error {
 	}
 	switch op {
 	case OpColumns:
-		if totalN < 4 || bits.OnesCount(uint(totalN)) != 1 {
-			return fmt.Errorf("%w: totalN %d is not a power of two ≥ 4", ErrBadFrame, totalN)
+		if totalN < 2 || totalN%vecLen != 0 {
+			return fmt.Errorf("%w: totalN %d is not a positive multiple of vector length %d",
+				ErrBadFrame, totalN, vecLen)
 		}
 		if vecs := totalN / vecLen; vecs < 1 || start < 0 || start+vecCount > vecs {
 			return fmt.Errorf("%w: vectors [%d, %d) outside the %d columns of a %d-point transform",
