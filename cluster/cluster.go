@@ -25,6 +25,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -74,19 +75,29 @@ type Config struct {
 	// request path. Workers pick their own kernel via `fftserved
 	// -kernel`.
 	LocalKernel codeletfft.Kernel
+
+	// DisableResidentSessions forces every transform through the legacy
+	// one-shot shard frames even when the transport supports resident
+	// sessions. The zero value (resident enabled) is the
+	// communication-avoiding default.
+	DisableResidentSessions bool
 }
 
-func (c Config) dist() dist.Config {
-	return dist.Config{
-		Workers:       c.Workers,
-		MemberFile:    c.MemberFile,
-		ProbeInterval: c.ProbeInterval,
-		ShardVecs:     c.ShardVecs,
-		MaxAttempts:   c.MaxAttempts,
-		HedgeDelay:    c.HedgeDelay,
-		ShardTimeout:  c.ShardTimeout,
-		Factor:        c.Factor,
-		LocalKernel:   c.LocalKernel,
+// options translates the public Config onto the coordinator's
+// functional options.
+func (c Config) options(t dist.Transport, workers []string) []dist.Option {
+	return []dist.Option{
+		dist.WithTransport(t),
+		dist.WithWorkers(workers...),
+		dist.WithMemberFile(c.MemberFile),
+		dist.WithProbeInterval(c.ProbeInterval),
+		dist.WithShardVecs(c.ShardVecs),
+		dist.WithMaxAttempts(c.MaxAttempts),
+		dist.WithHedgeDelay(c.HedgeDelay),
+		dist.WithShardTimeout(c.ShardTimeout),
+		dist.WithFactor(c.Factor),
+		dist.WithLocalKernel(c.LocalKernel),
+		dist.WithResidentSessions(!c.DisableResidentSessions),
 	}
 }
 
@@ -97,11 +108,12 @@ type Cluster struct {
 	co *dist.Coordinator
 }
 
-// New connects to the configured workers over HTTP.
+// New connects to the configured workers over HTTP. The transport is
+// session-capable: against upgraded workers each transform runs the
+// communication-avoiding resident path, and old FFS1-only daemons
+// degrade per-worker to the one-shot frames.
 func New(cfg Config) (*Cluster, error) {
-	dc := cfg.dist()
-	dc.Transport = &dist.HTTPTransport{}
-	co, err := dist.NewCoordinator(dc)
+	co, err := dist.New(cfg.options(&dist.HTTPTransport{}, cfg.Workers)...)
 	if err != nil {
 		return nil, err
 	}
@@ -109,22 +121,29 @@ func New(cfg Config) (*Cluster, error) {
 }
 
 // NewLoopback builds a self-contained cluster with nWorkers in-process
-// workers — the full coordinator/worker protocol with no sockets.
+// workers — the full coordinator/worker protocol, including the
+// worker-to-worker transpose exchange, with no sockets.
 func NewLoopback(nWorkers int, cfg Config) (*Cluster, error) {
 	if nWorkers <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one loopback worker, got %d", nWorkers)
 	}
 	lb := dist.NewLoopback()
 	addrs := make([]string, nWorkers)
+	// Split the host's parallelism between the in-process workers so a
+	// loopback cluster doesn't oversubscribe the machine the way
+	// nWorkers independent daemons would.
+	perWorker := max(1, runtime.NumCPU()/nWorkers)
 	for i := range addrs {
 		addrs[i] = fmt.Sprintf("loopback-%d", i)
-		srv := serve.New(serve.Config{EnableShard: true, MaxN: dist.MaxClusterN})
+		srv := serve.New(serve.Config{
+			EnableShard: true,
+			MaxN:        dist.MaxClusterN,
+			Workers:     perWorker,
+			Peers:       lb,
+		})
 		lb.Register(addrs[i], srv.Handler())
 	}
-	dc := cfg.dist()
-	dc.Transport = lb
-	dc.Workers = addrs
-	co, err := dist.NewCoordinator(dc)
+	co, err := dist.New(cfg.options(lb, addrs)...)
 	if err != nil {
 		return nil, err
 	}

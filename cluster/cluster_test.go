@@ -31,7 +31,9 @@ func TestLoopbackClusterMatchesSingleNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hp.ParallelTransform(want)
+	if err := hp.Transform(want); err != nil {
+		t.Fatalf("reference Transform: %v", err)
+	}
 	if err := cl.TransformCtx(context.Background(), data); err != nil {
 		t.Fatal(err)
 	}

@@ -134,6 +134,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 60*time.Second, "per-request deadline")
 		localW      = flag.Int("local-workers", 0, "goroutines for degraded local execution (0 = GOMAXPROCS)")
 		kernelName  = flag.String("local-kernel", "radix2", "butterfly kernel for degraded local execution: radix2, radix4, splitradix")
+		resident    = flag.Bool("resident", true, "use resident worker sessions (communication-avoiding path); false forces one-shot shards")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
 	)
 	flag.Parse()
@@ -149,19 +150,20 @@ func main() {
 			workerList = append(workerList, w)
 		}
 	}
-	co, err := dist.NewCoordinator(dist.Config{
-		Transport:     &dist.HTTPTransport{},
-		Workers:       workerList,
-		MemberFile:    *memberFile,
-		ProbeInterval: *probe,
-		ShardVecs:     *shardVecs,
-		MaxAttempts:   *maxAttempts,
-		HedgeDelay:    *hedge,
-		ShardTimeout:  *shardTO,
-		MaxInflight:   *inflight,
-		LocalWorkers:  *localW,
-		LocalKernel:   kern,
-	})
+	co, err := dist.New(
+		dist.WithTransport(&dist.HTTPTransport{}),
+		dist.WithWorkers(workerList...),
+		dist.WithMemberFile(*memberFile),
+		dist.WithProbeInterval(*probe),
+		dist.WithShardVecs(*shardVecs),
+		dist.WithMaxAttempts(*maxAttempts),
+		dist.WithHedgeDelay(*hedge),
+		dist.WithShardTimeout(*shardTO),
+		dist.WithMaxInflight(*inflight),
+		dist.WithLocalWorkers(*localW),
+		dist.WithLocalKernel(kern),
+		dist.WithResidentSessions(*resident),
+	)
 	if err != nil {
 		log.Fatalf("fftcluster: %v", err)
 	}

@@ -86,7 +86,15 @@ func main() {
 	fmt.Printf("forward + inverse round trip error %.3g\n", rt)
 
 	snap := cl.Snapshot()
-	fmt.Printf("shards %v, RPC attempts %v, retries %v, hedges %v\n",
+	if elems := snap["dist_resident_elems_total"]; elems > 0 {
+		// The communication-avoiding invariant: the coordinator's wire
+		// carries each element once out and once back — 32 payload
+		// bytes — plus a small fixed header/handshake overhead.
+		fmt.Printf("resident sessions ok %v (fallbacks %v), coordinator wire %.2f bytes/element (payload floor 32)\n",
+			snap["dist_resident_ok_total"], snap["dist_resident_fallback_total"],
+			snap["dist_resident_bytes_total"]/elems)
+	}
+	fmt.Printf("one-shot shards %v, RPC attempts %v, retries %v, hedges %v\n",
 		snap["dist_shards_total"], snap["dist_rpc_attempts_total"],
 		snap["dist_retries_total"], snap["dist_hedges_total"])
 

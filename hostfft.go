@@ -454,18 +454,6 @@ func (h *HostPlan) InverseCtx(ctx context.Context, data []complex128) error {
 	return h.Inverse(data)
 }
 
-// ParallelTransform applies the forward FFT in place.
-//
-// Deprecated: Transform now runs on the parallel engine; this is an
-// alias kept for one release.
-func (h *HostPlan) ParallelTransform(data []complex128) { _ = h.Transform(data) }
-
-// ParallelInverse applies the inverse FFT in place.
-//
-// Deprecated: Inverse now runs on the parallel engine; this is an
-// alias kept for one release.
-func (h *HostPlan) ParallelInverse(data []complex128) { _ = h.Inverse(data) }
-
 // TransformBatch applies the forward FFT in place to every transform in
 // batch through one worker-pool dispatch: workers steal (transform,
 // task-chunk) units within each lockstep stage pass, so B transforms
@@ -704,18 +692,6 @@ func (h *HostPlan2D) Inverse(data []complex128) error {
 	h.eng.InverseTransform2DKernel(h.pl, data, h.kernel())
 	return nil
 }
-
-// ParallelTransform applies the forward 2-D FFT in place.
-//
-// Deprecated: Transform now runs on the parallel engine; this is an
-// alias kept for one release.
-func (h *HostPlan2D) ParallelTransform(data []complex128) { _ = h.Transform(data) }
-
-// ParallelInverse applies the inverse 2-D FFT in place.
-//
-// Deprecated: Inverse now runs on the parallel engine; this is an
-// alias kept for one release.
-func (h *HostPlan2D) ParallelInverse(data []complex128) { _ = h.Inverse(data) }
 
 // DFT computes the discrete Fourier transform directly in O(n²) — the
 // ground-truth reference (any length).

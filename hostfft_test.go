@@ -152,7 +152,9 @@ func TestHostPlan2DParallelMatchesSerial(t *testing.T) {
 		if !sameBits(par, serial) {
 			t.Fatalf("%v: 2-D parallel Transform diverged from serial", k)
 		}
-		hp.ParallelInverse(par) // deprecated alias of Inverse
+		if err := hp.Inverse(par); err != nil {
+			t.Fatalf("%v: 2-D parallel Inverse: %v", k, err)
+		}
 		if e := maxErr(par, x); e > 1e-16 {
 			t.Fatalf("%v: 2-D parallel roundtrip error %g", k, e)
 		}

@@ -104,6 +104,14 @@ type Config struct {
 	// tuning measurements on the request path.
 	LocalKernel fft.Kernel
 
+	// DisableResidentSessions turns off the communication-avoiding
+	// resident-shard path even when the Transport supports it, forcing
+	// every transform through the legacy one-shot frames. The zero
+	// value (resident enabled) is correct for new deployments; the
+	// fault-injection tests that assert exact one-shot counter
+	// identities set it.
+	DisableResidentSessions bool
+
 	// Circuit-breaker knobs, forwarded to the membership layer.
 	CircuitThreshold int
 	CircuitOpenBase  time.Duration
@@ -166,13 +174,19 @@ type Coordinator struct {
 	m       *distMetrics
 	eng     *host.Engine
 
+	// caps caches addresses that rejected a session open as
+	// FFS1-only (addr → cache expiry).
+	caps sync.Map
+
 	mu     sync.Mutex
 	fs     map[[2]int]*fft.FourStepPlan
 	locals map[int]*localPlan
 }
 
-// NewCoordinator builds a coordinator and starts its membership loops.
-func NewCoordinator(cfg Config) (*Coordinator, error) {
+// newCoordinator builds a coordinator and starts its membership loops.
+// The public constructors are New (functional options) and the
+// deprecated NewCoordinator wrapper (options.go).
+func newCoordinator(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Transport == nil && (len(cfg.Workers) > 0 || cfg.MemberFile != "") {
 		return nil, fmt.Errorf("dist: workers configured but no transport")
@@ -242,6 +256,14 @@ func (c *Coordinator) Transform(ctx context.Context, data []complex128) error {
 	if c.members.EligibleCount() == 0 {
 		c.m.degraded.Inc()
 		return c.transformLocal(data)
+	}
+	// Prefer the communication-avoiding resident path; any mid-session
+	// failure falls back to the legacy one-shot path with the input
+	// untouched (session.go).
+	if st, ok := c.cfg.Transport.(SessionTransport); ok && !c.cfg.DisableResidentSessions {
+		if handled, err := c.transformResident(ctx, st, data); handled {
+			return err
+		}
 	}
 	return c.transformDist(ctx, data)
 }
@@ -525,6 +547,9 @@ func (c *Coordinator) execOnce(ctx context.Context, addr string, req serve.Shard
 		return serve.ShardFrame{}, fmt.Errorf("dist: worker %s returned a mismatched shard (op %s len %d×%d)",
 			addr, resp.Op, resp.VecLen, resp.VecCount())
 	}
+	// One-shot frames round-trip the payload: request and response have
+	// identical shapes.
+	c.m.bytesMoved.Add(2 * int64(serve.ShardHeaderLen+16*len(req.Data)))
 	return resp, nil
 }
 

@@ -20,18 +20,23 @@ import (
 
 // newTestCluster stands up nWorkers in-process shard workers on a
 // loopback transport and a coordinator over them. The caller's cfg is
-// honored except Transport/Workers, which the helper owns.
+// honored except Transport/Workers, which the helper owns, and the
+// resident-session path, which is disabled: these tests pin the legacy
+// one-shot path's exact counter identities (faults injected on Exec),
+// which the resident path would bypass. Resident-path coverage lives
+// in session_test.go's newResidentCluster.
 func newTestCluster(t *testing.T, nWorkers int, cfg Config) (*Coordinator, *Loopback, []string) {
 	t.Helper()
 	lb := NewLoopback()
 	addrs := make([]string, nWorkers)
 	for i := range addrs {
 		addrs[i] = fmt.Sprintf("worker-%d", i)
-		srv := serve.New(serve.Config{EnableShard: true, MaxN: 1 << 20})
+		srv := serve.New(serve.Config{EnableShard: true, MaxN: 1 << 20, Peers: lb})
 		lb.Register(addrs[i], srv.Handler())
 	}
 	cfg.Transport = lb
 	cfg.Workers = addrs
+	cfg.DisableResidentSessions = true
 	c, err := NewCoordinator(cfg)
 	if err != nil {
 		t.Fatalf("NewCoordinator: %v", err)
@@ -58,7 +63,9 @@ func singleNode(t *testing.T, data []complex128) []complex128 {
 	if err != nil {
 		t.Fatalf("CachedHostPlan(%d): %v", len(ref), err)
 	}
-	hp.ParallelTransform(ref)
+	if err := hp.Transform(ref); err != nil {
+		t.Fatalf("reference Transform: %v", err)
+	}
 	return ref
 }
 

@@ -57,7 +57,7 @@ type MemberConfig struct {
 	ProbeInterval time.Duration
 
 	// Circuit-breaker knobs; zero values take the defaults above.
-	CircuitThreshold int
+	CircuitThreshold  int
 	OpenBase, OpenMax time.Duration
 }
 

@@ -27,8 +27,22 @@ type distMetrics struct {
 	localShards *metrics.Counter // dist_local_shards_total
 	shards      *metrics.Counter // dist_shards_total
 
+	// Wire accounting. bytesMoved counts coordinator↔worker bytes on
+	// both paths; the resident pair counts only transforms the resident
+	// path completed, so residentBytes / residentElems is the
+	// communication-avoidance invariant CI gates on:
+	// bytes ≤ 2·16·elems (+ header noise).
+	bytesMoved    *metrics.Counter // dist_bytes_moved_total
+	residentBytes *metrics.Counter // dist_resident_bytes_total
+	residentElems *metrics.Counter // dist_resident_elems_total
+	residentOK    *metrics.Counter // dist_resident_ok_total
+	residentFall  *metrics.Counter // dist_resident_fallback_total
+	sessions      *metrics.Counter // dist_sessions_total
+	capabilityOld *metrics.Counter // dist_capability_legacy_total
+
 	rpcSec       *metrics.Histogram // dist_rpc_seconds
 	transformSec *metrics.Histogram // dist_transform_seconds
+	transformB   *metrics.Histogram // dist_transform_bytes
 
 	mu        sync.Mutex
 	workerSec map[string]*metrics.Histogram
@@ -38,18 +52,28 @@ type distMetrics struct {
 func newDistMetrics(r *metrics.Registry) *distMetrics {
 	latency := metrics.ExpBuckets(1e-5, 2, 22) // 10µs … ~40s
 	return &distMetrics{
-		reg:          r,
-		transforms:   r.Counter("dist_transforms_total"),
-		attempts:     r.Counter("dist_rpc_attempts_total"),
-		errors:       r.Counter("dist_rpc_errors_total"),
-		retries:      r.Counter("dist_retries_total"),
-		hedges:       r.Counter("dist_hedges_total"),
-		hedgeWins:    r.Counter("dist_hedge_wins_total"),
-		degraded:     r.Counter("dist_degraded_total"),
-		localShards:  r.Counter("dist_local_shards_total"),
-		shards:       r.Counter("dist_shards_total"),
+		reg:         r,
+		transforms:  r.Counter("dist_transforms_total"),
+		attempts:    r.Counter("dist_rpc_attempts_total"),
+		errors:      r.Counter("dist_rpc_errors_total"),
+		retries:     r.Counter("dist_retries_total"),
+		hedges:      r.Counter("dist_hedges_total"),
+		hedgeWins:   r.Counter("dist_hedge_wins_total"),
+		degraded:    r.Counter("dist_degraded_total"),
+		localShards: r.Counter("dist_local_shards_total"),
+		shards:      r.Counter("dist_shards_total"),
+
+		bytesMoved:    r.Counter("dist_bytes_moved_total"),
+		residentBytes: r.Counter("dist_resident_bytes_total"),
+		residentElems: r.Counter("dist_resident_elems_total"),
+		residentOK:    r.Counter("dist_resident_ok_total"),
+		residentFall:  r.Counter("dist_resident_fallback_total"),
+		sessions:      r.Counter("dist_sessions_total"),
+		capabilityOld: r.Counter("dist_capability_legacy_total"),
+
 		rpcSec:       r.Histogram("dist_rpc_seconds", latency),
 		transformSec: r.Histogram("dist_transform_seconds", latency),
+		transformB:   r.Histogram("dist_transform_bytes", metrics.ExpBuckets(1024, 4, 16)), // 1KiB … ~4GiB
 		workerSec:    map[string]*metrics.Histogram{},
 		workerErr:    map[string]*metrics.Counter{},
 	}

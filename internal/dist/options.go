@@ -1,0 +1,146 @@
+// Functional options for constructing a Coordinator — the cluster
+// analogue of the facade's HostOption. The option form replaces the
+// sprawling Config literal: zero-value fields no longer need naming,
+// new knobs arrive without breaking construction sites, and invalid
+// combinations are caught at the single New seam.
+package dist
+
+import (
+	"time"
+
+	"codeletfft/internal/fft"
+	"codeletfft/internal/metrics"
+)
+
+// Option configures a Coordinator under construction.
+type Option func(*Config)
+
+// New builds a coordinator from functional options and starts its
+// membership loops. With no options it is a local-only coordinator
+// (every transform degrades to the host engine); add WithTransport and
+// WithWorkers to make it a cluster.
+func New(opts ...Option) (*Coordinator, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return newCoordinator(cfg)
+}
+
+// NewCoordinator builds a coordinator from a Config literal.
+//
+// Deprecated: use New with functional options (WithTransport,
+// WithWorkers, …). This wrapper remains for one release so existing
+// construction sites keep compiling.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	return newCoordinator(cfg)
+}
+
+// WithTransport sets the RPC transport carrying shard frames to
+// workers (required whenever workers are configured). A transport that
+// also implements SessionTransport enables the communication-avoiding
+// resident path.
+func WithTransport(t Transport) Option {
+	return func(c *Config) { c.Transport = t }
+}
+
+// WithWorkers sets the static worker address list.
+func WithWorkers(addrs ...string) Option {
+	return func(c *Config) { c.Workers = append([]string(nil), addrs...) }
+}
+
+// WithMemberFile layers a polled membership file on the static set.
+func WithMemberFile(path string) Option {
+	return func(c *Config) { c.MemberFile = path }
+}
+
+// WithProbeInterval enables active health probing every d; 0 disables
+// probing (circuits still react to call failures).
+func WithProbeInterval(d time.Duration) Option {
+	return func(c *Config) { c.ProbeInterval = d }
+}
+
+// WithFilePollInterval sets how often the membership file is re-read.
+func WithFilePollInterval(d time.Duration) Option {
+	return func(c *Config) { c.FilePollInterval = d }
+}
+
+// WithShardVecs sets how many column/row vectors ride in one one-shot
+// shard RPC (the legacy path's batching unit).
+func WithShardVecs(n int) Option {
+	return func(c *Config) { c.ShardVecs = n }
+}
+
+// WithMaxAttempts bounds tries per one-shot shard, first included.
+func WithMaxAttempts(n int) Option {
+	return func(c *Config) { c.MaxAttempts = n }
+}
+
+// WithBackoff shapes the exponential retry backoff between attempts.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Config) { c.BackoffBase, c.BackoffMax = base, max }
+}
+
+// WithHedgeDelay enables tail-latency hedging: a second copy of a
+// silent shard goes to the next worker after d. 0 disables hedging.
+func WithHedgeDelay(d time.Duration) Option {
+	return func(c *Config) { c.HedgeDelay = d }
+}
+
+// WithShardTimeout sets the per-attempt RPC deadline.
+func WithShardTimeout(d time.Duration) Option {
+	return func(c *Config) { c.ShardTimeout = d }
+}
+
+// WithMaxInflight bounds concurrent shard RPCs per transform.
+func WithMaxInflight(n int) Option {
+	return func(c *Config) { c.MaxInflight = n }
+}
+
+// WithFactor overrides the four-step split; nil keeps the near-square
+// power-of-two default.
+func WithFactor(f func(n int) (n1, n2 int)) Option {
+	return func(c *Config) { c.Factor = f }
+}
+
+// WithLocalWorkers sets the host-engine worker count used for degraded
+// (local) execution.
+func WithLocalWorkers(n int) Option {
+	return func(c *Config) { c.LocalWorkers = n }
+}
+
+// WithLocalTaskSize sets the host-engine task granularity for degraded
+// (local) execution.
+func WithLocalTaskSize(n int) Option {
+	return func(c *Config) { c.LocalTaskSize = n }
+}
+
+// WithLocalKernel selects the butterfly kernel for degraded (local)
+// execution and locally run shards.
+func WithLocalKernel(k fft.Kernel) Option {
+	return func(c *Config) { c.LocalKernel = k }
+}
+
+// WithResidentSessions toggles the communication-avoiding
+// resident-shard path (on by default when the transport supports it).
+// Pass false to force every transform through the legacy one-shot
+// frames.
+func WithResidentSessions(enabled bool) Option {
+	return func(c *Config) { c.DisableResidentSessions = !enabled }
+}
+
+// WithCircuit tunes the per-worker circuit breaker: consecutive
+// failures to open, and the open interval's base and cap.
+func WithCircuit(threshold int, openBase, openMax time.Duration) Option {
+	return func(c *Config) {
+		c.CircuitThreshold = threshold
+		c.CircuitOpenBase = openBase
+		c.CircuitOpenMax = openMax
+	}
+}
+
+// WithRegistry collects the coordinator's instruments on r instead of
+// a fresh registry.
+func WithRegistry(r *metrics.Registry) Option {
+	return func(c *Config) { c.Registry = r }
+}

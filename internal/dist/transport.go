@@ -3,11 +3,13 @@ package dist
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"codeletfft/internal/serve"
@@ -24,6 +26,41 @@ type Transport interface {
 	// Health probes the worker's health endpoint; nil means the worker
 	// is accepting traffic.
 	Health(ctx context.Context, addr string) error
+}
+
+// ErrSessionUnsupported reports that a worker rejected an FFS2 open —
+// an old FFS1-only worker, or one with sessions disabled. The
+// coordinator caches the address as legacy-only and falls back to
+// one-shot Exec frames.
+var ErrSessionUnsupported = errors.New("dist: worker does not support resident sessions")
+
+// Session is one open resident-shard session on a worker: the column
+// slab ships out through it once, the finished row block ships back
+// once, and between the two the data stays on the worker. Sessions are
+// not safe for concurrent use (the coordinator drives each worker's
+// session from one goroutine at a time); Close may be called from any
+// goroutine and is idempotent on the worker.
+type Session interface {
+	// ExecShard posts one session frame and returns the decoded
+	// response. When respInto is non-nil and the response carries a
+	// payload, it is decoded directly into respInto (which must have
+	// exactly the response's element count) — the zero-copy path that
+	// lands a worker's row block straight in the coordinator's output
+	// slab. ExecShard must not mutate req.Data.
+	ExecShard(ctx context.Context, req serve.SessionFrame, respInto []complex128) (serve.SessionFrame, error)
+	// CloseSession releases the worker-side session state.
+	CloseSession(ctx context.Context) error
+}
+
+// SessionTransport is a Transport that can additionally open resident
+// sessions. id is the coordinator-chosen session identifier — one
+// distributed transform opens the SAME id on every participating
+// worker, which is how a worker matches an incoming peer exchange
+// frame to its own session. OpenSession returns ErrSessionUnsupported
+// (possibly wrapped) when the worker speaks only FFS1.
+type SessionTransport interface {
+	Transport
+	OpenSession(ctx context.Context, addr string, spec serve.SessionSpec, id uint64) (Session, error)
 }
 
 // HTTPTransport speaks the shard protocol over real HTTP: addr is the
@@ -99,6 +136,125 @@ func (t *HTTPTransport) Health(ctx context.Context, addr string) error {
 	return nil
 }
 
+// sessionIDs hands out coordinator-unique session IDs, seeded from the
+// clock so two coordinator processes opening sessions on one worker
+// don't collide at id 1.
+var sessionIDs atomic.Uint64
+
+func init() { sessionIDs.Store(uint64(time.Now().UnixNano())) }
+
+func nextSessionID() uint64 { return sessionIDs.Add(1) }
+
+// statusError is a non-200 worker response; OpenSession maps the
+// rejection statuses onto ErrSessionUnsupported.
+type statusError struct {
+	addr string
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("dist: worker %s: status %d: %s", e.addr, e.code, e.msg)
+}
+
+// checkOpenAck turns an open response into the capability verdict: an
+// FFS1-only worker 400s the unknown magic (and a drained session table
+// 404s later frames), both of which mean "use the legacy path".
+func checkOpenAck(ack serve.SessionFrame, err error) error {
+	if err != nil {
+		var se *statusError
+		if errors.As(err, &se) && (se.code == http.StatusBadRequest || se.code == http.StatusNotFound) {
+			return fmt.Errorf("%w: %s", ErrSessionUnsupported, se.msg)
+		}
+		return err
+	}
+	if ack.Op != serve.OpSessAck || ack.Flags&serve.FlagResident == 0 {
+		return ErrSessionUnsupported
+	}
+	return nil
+}
+
+// OpenSession implements SessionTransport.
+func (t *HTTPTransport) OpenSession(ctx context.Context, addr string, spec serve.SessionSpec, id uint64) (Session, error) {
+	sess := &httpSession{t: t, addr: addr, id: id}
+	ack, err := sess.ExecShard(ctx, serve.SessionFrame{Op: serve.OpSessOpen, Spec: &spec}, nil)
+	if err := checkOpenAck(ack, err); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+type httpSession struct {
+	t    *HTTPTransport
+	addr string
+	id   uint64
+}
+
+// ExecShard implements Session over real HTTP: the request encodes
+// into a pooled frame, the response reads into a pooled frame, and a
+// payload-bearing response decodes straight into respInto.
+func (s *httpSession) ExecShard(ctx context.Context, req serve.SessionFrame, respInto []complex128) (serve.SessionFrame, error) {
+	req.ID = s.id
+	bp := serve.AcquireFrame(serve.SessionFrameLen(req))
+	enc, err := serve.AppendSessionFrame((*bp)[:0], req)
+	if err != nil {
+		serve.ReleaseFrame(bp)
+		return serve.SessionFrame{}, err
+	}
+	*bp = enc
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.addr+"/fft/shard", bytes.NewReader(enc))
+	if err != nil {
+		serve.ReleaseFrame(bp)
+		return serve.SessionFrame{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.t.client().Do(hreq)
+	if err != nil {
+		// The transport may still reference the body on some error
+		// paths; let the GC reclaim the buffer rather than risk reuse.
+		return serve.SessionFrame{}, err
+	}
+	defer resp.Body.Close()
+	raw, rp, err := readBodyPooled(resp.Body, resp.ContentLength)
+	serve.ReleaseFrame(bp) // request fully sent once the response arrived
+	if err != nil {
+		return serve.SessionFrame{}, err
+	}
+	defer serve.ReleaseFrame(rp)
+	if resp.StatusCode != http.StatusOK {
+		return serve.SessionFrame{}, &statusError{addr: s.addr, code: resp.StatusCode, msg: snippet(raw)}
+	}
+	if respInto != nil {
+		return serve.DecodeSessionFrameInto(raw, respInto)
+	}
+	return serve.DecodeSessionFrame(raw)
+}
+
+// CloseSession implements Session.
+func (s *httpSession) CloseSession(ctx context.Context) error {
+	_, err := s.ExecShard(ctx, serve.SessionFrame{Op: serve.OpSessClose}, nil)
+	return err
+}
+
+// readBodyPooled reads r fully into a pooled buffer (exact-sized when
+// the length is known). The caller must ReleaseFrame the returned
+// pointer; the byte slice aliases it.
+func readBodyPooled(r io.Reader, contentLength int64) ([]byte, *[]byte, error) {
+	if contentLength >= 0 && contentLength <= 16*int64(serve.MaxFrameElems)+1<<20 {
+		bp := serve.AcquireFrame(int(contentLength))
+		if _, err := io.ReadFull(r, *bp); err != nil {
+			serve.ReleaseFrame(bp)
+			return nil, nil, err
+		}
+		return *bp, bp, nil
+	}
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, &b, nil
+}
+
 func snippet(b []byte) string {
 	const max = 120
 	s := string(bytes.TrimSpace(b))
@@ -122,6 +278,18 @@ type Loopback struct {
 	// the fault-injection seam the cluster tests and fftcheck use to
 	// simulate crashed or partitioned workers.
 	Fault func(addr string, req serve.ShardFrame) error
+
+	// SessionFault, when non-nil, runs before every session frame
+	// (coordinator→worker ExecShard and worker→worker PushFrame alike);
+	// a non-nil return is delivered as the transport error without
+	// reaching the worker — mid-session worker death.
+	SessionFault func(addr string, op serve.SessionOp) error
+	// TruncateFrame, when non-nil, may mangle an encoded session frame
+	// before delivery — a partial write on the wire.
+	TruncateFrame func(addr string, op serve.SessionOp, frame []byte) []byte
+	// TruncateResponse, when non-nil, may mangle a session response
+	// before the coordinator decodes it — a short read.
+	TruncateResponse func(addr string, op serve.SessionOp, frame []byte) []byte
 }
 
 // NewLoopback returns an empty loopback transport.
@@ -180,6 +348,96 @@ func (l *Loopback) Exec(ctx context.Context, addr string, req serve.ShardFrame) 
 		return serve.ShardFrame{}, fmt.Errorf("dist: worker %s: status %d: %s", addr, rec.Code, snippet(rec.Body.Bytes()))
 	}
 	return serve.DecodeShardFrame(rec.Body.Bytes())
+}
+
+// OpenSession implements SessionTransport.
+func (l *Loopback) OpenSession(ctx context.Context, addr string, spec serve.SessionSpec, id uint64) (Session, error) {
+	sess := &loopbackSession{l: l, addr: addr, id: id}
+	ack, err := sess.ExecShard(ctx, serve.SessionFrame{Op: serve.OpSessOpen, Spec: &spec}, nil)
+	if err := checkOpenAck(ack, err); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+type loopbackSession struct {
+	l    *Loopback
+	addr string
+	id   uint64
+}
+
+// ExecShard implements Session in-process, applying the loopback's
+// session fault hooks on the way through.
+func (s *loopbackSession) ExecShard(ctx context.Context, req serve.SessionFrame, respInto []complex128) (serve.SessionFrame, error) {
+	req.ID = s.id
+	if f := s.l.SessionFault; f != nil {
+		if err := f(s.addr, req.Op); err != nil {
+			return serve.SessionFrame{}, err
+		}
+	}
+	h, err := s.l.handler(s.addr)
+	if err != nil {
+		return serve.SessionFrame{}, err
+	}
+	enc, err := serve.EncodeSessionFrame(req)
+	if err != nil {
+		return serve.SessionFrame{}, err
+	}
+	if tr := s.l.TruncateFrame; tr != nil {
+		enc = tr(s.addr, req.Op, enc)
+	}
+	hreq := httptest.NewRequest(http.MethodPost, "http://"+s.addr+"/fft/shard", bytes.NewReader(enc)).WithContext(ctx)
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, hreq)
+	if err := ctx.Err(); err != nil {
+		return serve.SessionFrame{}, err
+	}
+	if rec.Code != http.StatusOK {
+		return serve.SessionFrame{}, &statusError{addr: s.addr, code: rec.Code, msg: snippet(rec.Body.Bytes())}
+	}
+	raw := rec.Body.Bytes()
+	if tr := s.l.TruncateResponse; tr != nil {
+		raw = tr(s.addr, req.Op, raw)
+	}
+	if respInto != nil {
+		return serve.DecodeSessionFrameInto(raw, respInto)
+	}
+	return serve.DecodeSessionFrame(raw)
+}
+
+// CloseSession implements Session.
+func (s *loopbackSession) CloseSession(ctx context.Context) error {
+	_, err := s.ExecShard(ctx, serve.SessionFrame{Op: serve.OpSessClose}, nil)
+	return err
+}
+
+// PushFrame implements serve.PeerSender, carrying worker→worker
+// exchange frames through the same in-process fabric (and the same
+// fault hooks) so the whole resident protocol runs under -race in one
+// process.
+func (l *Loopback) PushFrame(ctx context.Context, addr string, frame []byte) ([]byte, error) {
+	op := serve.OpSessExchange
+	if f := l.SessionFault; f != nil {
+		if err := f(addr, op); err != nil {
+			return nil, err
+		}
+	}
+	if tr := l.TruncateFrame; tr != nil {
+		frame = tr(addr, op, frame)
+	}
+	h, err := l.handler(addr)
+	if err != nil {
+		return nil, err
+	}
+	hreq := httptest.NewRequest(http.MethodPost, "http://"+addr+"/fft/shard", bytes.NewReader(frame)).WithContext(ctx)
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, hreq)
+	if rec.Code != http.StatusOK {
+		return nil, fmt.Errorf("dist: loopback peer %s: status %d: %s", addr, rec.Code, snippet(rec.Body.Bytes()))
+	}
+	return rec.Body.Bytes(), nil
 }
 
 // Health implements Transport.

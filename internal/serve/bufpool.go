@@ -1,0 +1,91 @@
+// Pooled buffers for the binary shard path. Frames on the wire and the
+// complex scratch behind them are the cluster's steady-state memory
+// traffic: a coordinator streaming transforms would otherwise allocate
+// (and garbage-collect) tens of megabytes per transform. Both pools are
+// size-classed by rounding capacities up to the next power of two, so a
+// steady mix of shapes converges onto a small set of reusable buffers
+// and the AllocsPerRun guards in the tests can pin the path at zero.
+//
+// Ownership discipline: Acquire returns a buffer that the caller owns
+// exclusively until it calls Release; Release transfers ownership back
+// to the pool and the caller must not touch the buffer (or any slice of
+// it) afterwards. Slices handed to other goroutines must therefore be
+// fully consumed before Release — the fault-injection tests exercise
+// the error paths to make sure no release happens twice and no buffer
+// escapes.
+package serve
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// byteBuf size classes: pools[i] holds buffers of capacity 1<<i.
+var byteBufPools [34]sync.Pool
+
+// AcquireFrame returns a byte buffer with length n (capacity possibly
+// larger) from the frame pool. Release with ReleaseFrame.
+func AcquireFrame(n int) *[]byte {
+	if n < 0 {
+		n = 0
+	}
+	class := sizeClass(n)
+	if p, _ := byteBufPools[class].Get().(*[]byte); p != nil {
+		*p = (*p)[:n]
+		return p
+	}
+	b := make([]byte, n, 1<<class)
+	return &b
+}
+
+// ReleaseFrame returns a buffer acquired with AcquireFrame to the pool.
+// The caller must not use the buffer afterwards. nil is a no-op.
+func ReleaseFrame(p *[]byte) {
+	if p == nil || cap(*p) == 0 {
+		return
+	}
+	class := uint(bits.Len(uint(cap(*p)))) - 1
+	if 1<<class != cap(*p) {
+		return // foreign buffer; let the GC have it
+	}
+	byteBufPools[class].Put(p)
+}
+
+// complexBuf size classes, same scheme in units of complex128.
+var complexBufPools [28]sync.Pool
+
+// AcquireComplex returns a []complex128 of length n from the scratch
+// pool, zeroed is NOT guaranteed. Release with ReleaseComplex.
+func AcquireComplex(n int) *[]complex128 {
+	if n < 0 {
+		n = 0
+	}
+	class := sizeClass(n)
+	if p, _ := complexBufPools[class].Get().(*[]complex128); p != nil {
+		*p = (*p)[:n]
+		return p
+	}
+	b := make([]complex128, n, 1<<class)
+	return &b
+}
+
+// ReleaseComplex returns a buffer acquired with AcquireComplex to the
+// pool. The caller must not use the buffer afterwards. nil is a no-op.
+func ReleaseComplex(p *[]complex128) {
+	if p == nil || cap(*p) == 0 {
+		return
+	}
+	class := uint(bits.Len(uint(cap(*p)))) - 1
+	if 1<<class != cap(*p) {
+		return
+	}
+	complexBufPools[class].Put(p)
+}
+
+// sizeClass returns the smallest c with 1<<c ≥ n.
+func sizeClass(n int) uint {
+	if n <= 1 {
+		return 0
+	}
+	return uint(bits.Len(uint(n - 1)))
+}

@@ -43,8 +43,8 @@ func TestFrameRejectsMalformed(t *testing.T) {
 		t.Fatal(err)
 	}
 	cases := map[string][]byte{
-		"empty":        {},
-		"short header": good[:headerLen-1],
+		"empty":                  {},
+		"short header":           good[:headerLen-1],
 		"truncated by one byte":  good[:len(good)-1],
 		"truncated half payload": good[:headerLen+8],
 		"one trailing byte":      append(append([]byte(nil), good...), 0),

@@ -47,6 +47,8 @@ const (
 	DefaultQueueLimit     = 1024
 	DefaultRequestTimeout = 10 * time.Second
 	DefaultMaxTimeout     = time.Minute
+	DefaultSessionTTL     = 2 * time.Minute
+	DefaultMaxSessions    = 8
 )
 
 // Config tunes a Server. The zero value of every field selects the
@@ -81,6 +83,23 @@ type Config struct {
 	// (POST /fft/shard), making this server a worker a dist
 	// coordinator can dispatch four-step segments to.
 	EnableShard bool
+	// Peers sends this worker's exchange frames to its peers during a
+	// resident session (the on-worker four-step transpose). nil is fine
+	// for single-worker clusters; a multi-worker resident session whose
+	// spec names peers fails its cols phase without a sender, and the
+	// coordinator falls back to one-shot frames.
+	Peers PeerSender
+	// SessionTTL expires idle resident sessions (lazy GC on session
+	// traffic); 0 means DefaultSessionTTL.
+	SessionTTL time.Duration
+	// MaxSessions bounds concurrently open resident sessions (each pins
+	// a rows buffer); 0 means DefaultMaxSessions.
+	MaxSessions int
+	// DisableSessions makes the worker FFS1-only: FFS2 frames are
+	// rejected exactly like any unknown magic (400), which is how an
+	// old worker behaves — the seam the mixed-version regression test
+	// uses to prove the coordinator degrades gracefully.
+	DisableSessions bool
 	// Registry collects the server's instruments; New creates one when
 	// nil. The daemon publishes it at /metrics and through expvar.
 	Registry *metrics.Registry
@@ -107,6 +126,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = DefaultMaxTimeout
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = DefaultSessionTTL
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
 	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
@@ -150,6 +175,14 @@ type serverMetrics struct {
 	shardBad      *metrics.Counter
 	shardVecs     *metrics.Counter
 
+	sessOpens     *metrics.Counter
+	sessCols      *metrics.Counter
+	sessExchanges *metrics.Counter
+	sessRows      *metrics.Counter
+	sessCloses    *metrics.Counter
+	sessExpired   *metrics.Counter
+	sessBad       *metrics.Counter
+
 	occupancy  *metrics.Histogram
 	batchSec   *metrics.Histogram
 	requestSec *metrics.Histogram
@@ -159,21 +192,29 @@ type serverMetrics struct {
 func newServerMetrics(r *metrics.Registry) serverMetrics {
 	latency := metrics.ExpBuckets(1e-5, 2, 22) // 10µs … ~40s
 	return serverMetrics{
-		requests:   r.Counter("fft_requests_total"),
-		ok:         r.Counter("fft_responses_ok_total"),
-		bad:        r.Counter("fft_responses_bad_request_total"),
-		shedQueue:  r.Counter("fft_responses_shed_queue_total"),
-		shedDrain:  r.Counter("fft_responses_shed_drain_total"),
-		deadline:   r.Counter("fft_responses_deadline_total"),
-		internal:   r.Counter("fft_responses_error_total"),
-		expired:    r.Counter("fft_expired_in_queue_total"),
-		panics:     r.Counter("fft_panics_total"),
-		batches:    r.Counter("fft_batches_total"),
+		requests:  r.Counter("fft_requests_total"),
+		ok:        r.Counter("fft_responses_ok_total"),
+		bad:       r.Counter("fft_responses_bad_request_total"),
+		shedQueue: r.Counter("fft_responses_shed_queue_total"),
+		shedDrain: r.Counter("fft_responses_shed_drain_total"),
+		deadline:  r.Counter("fft_responses_deadline_total"),
+		internal:  r.Counter("fft_responses_error_total"),
+		expired:   r.Counter("fft_expired_in_queue_total"),
+		panics:    r.Counter("fft_panics_total"),
+		batches:   r.Counter("fft_batches_total"),
 
 		shardRequests: r.Counter("shard_requests_total"),
 		shardOK:       r.Counter("shard_ok_total"),
 		shardBad:      r.Counter("shard_bad_total"),
 		shardVecs:     r.Counter("shard_vecs_total"),
+
+		sessOpens:     r.Counter("sess_opens_total"),
+		sessCols:      r.Counter("sess_cols_total"),
+		sessExchanges: r.Counter("sess_exchanges_total"),
+		sessRows:      r.Counter("sess_rows_total"),
+		sessCloses:    r.Counter("sess_closes_total"),
+		sessExpired:   r.Counter("sess_expired_total"),
+		sessBad:       r.Counter("sess_bad_total"),
 
 		occupancy:  r.Histogram("fft_batch_occupancy", metrics.ExpBuckets(1, 2, 11)), // 1 … 1024
 		batchSec:   r.Histogram("fft_batch_seconds", latency),
@@ -240,6 +281,13 @@ type Server struct {
 	mu       sync.Mutex
 	batchers map[batchKey]*batcher
 
+	// Resident-session table: sessions pin rows buffers between the
+	// cols and rows phases; idle entries are reaped lazily on session
+	// traffic once SessionTTL passes.
+	sessMu     sync.Mutex
+	sessions   map[uint64]*sessEntry
+	lastSessGC time.Time
+
 	// execHook, when non-nil, runs inside the panic-isolated executor
 	// just before the transform — the test seam for panic isolation.
 	execHook func(key batchKey, live int)
@@ -256,6 +304,7 @@ func New(cfg Config) *Server {
 		m:        newServerMetrics(cfg.Registry),
 		sem:      make(chan struct{}, cfg.QueueLimit),
 		batchers: make(map[batchKey]*batcher),
+		sessions: make(map[uint64]*sessEntry),
 		// JSON spells a float64 in ~25 bytes; 64·MaxN covers the worst
 		// re+im request with headroom, and the binary frame is smaller.
 		maxBody: int64(cfg.MaxN)*64 + 4096,

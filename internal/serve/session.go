@@ -1,0 +1,588 @@
+// Worker half of the resident-shard session protocol (FFS2,
+// sessionframe.go). A coordinator opens a session describing the
+// four-step geometry and this worker's slice of it, ships the worker's
+// column slab once, and fetches the finished row block once; between
+// those two transfers the data stays resident here. The communication-
+// avoiding step is the transpose: after the column FFTs the worker
+// scatters its own rows into the resident rows buffer and pushes every
+// peer's row block directly to that peer (PeerSender), so the all-to-all
+// that dominates distributed four-step never passes through the
+// coordinator.
+//
+// Buffer ownership per phase:
+//
+//   - open: the session acquires the pooled rows buffer
+//     (RowCount×N2) and owns it until close/expiry;
+//   - cols: the handler owns a pooled column scratch for the duration
+//     of the request — wire bytes decode straight into it, the FFT and
+//     twiddle run in place, own rows scatter into the session's rows
+//     buffer, and peer blocks encode straight out of it into pooled
+//     exchange frames (released as each push completes);
+//   - exchange: the payload scatters from the wire bytes directly into
+//     the resident rows buffer — no intermediate complex buffer exists;
+//   - rows: the row FFTs run in place in the rows buffer and the
+//     response streams straight out of it;
+//   - close: the rows buffer returns to the pool.
+//
+// All rows-buffer access is serialized by the session mutex; the
+// colsSeen count under the same mutex is the happens-before edge that
+// makes every exchange write visible to the rows phase.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"codeletfft"
+	"codeletfft/internal/fft"
+)
+
+// PeerSender delivers an encoded frame to a peer worker's shard
+// endpoint and returns the raw response body. The dist Loopback
+// transport implements it in-process; HTTPPeers speaks real HTTP.
+type PeerSender interface {
+	PushFrame(ctx context.Context, addr string, frame []byte) ([]byte, error)
+}
+
+// HTTPPeers is the production PeerSender: addr is a peer's base URL,
+// frames post to its /fft/shard endpoint over pooled keep-alive
+// connections.
+type HTTPPeers struct {
+	// Client overrides the pooled default; per-call deadlines come from
+	// the context.
+	Client *http.Client
+}
+
+var defaultPeerClient = &http.Client{
+	Transport: &http.Transport{
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
+// PushFrame implements PeerSender.
+func (p *HTTPPeers) PushFrame(ctx context.Context, addr string, frame []byte) ([]byte, error) {
+	client := p.Client
+	if client == nil {
+		client = defaultPeerClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/fft/shard", bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: peer %s: status %d: %s", addr, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return body, nil
+}
+
+// workerSession is one open resident session. The mutex serializes all
+// rows-buffer access; colsSeen counts the columns already folded into
+// the buffer (own cols plus received exchanges) and reaching N2 is the
+// rows phase's readiness condition.
+type workerSession struct {
+	id   uint64
+	spec SessionSpec
+
+	mu       sync.Mutex
+	rows     *[]complex128 // RowCount×N2, pooled; nil once released
+	colsSeen int
+	rowsDone bool
+}
+
+// release returns the rows buffer to the pool. Idempotent.
+func (sess *workerSession) release() {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.rows != nil {
+		ReleaseComplex(sess.rows)
+		sess.rows = nil
+	}
+}
+
+// lookupSession fetches a session and touches its TTL clock. A session
+// idle past the TTL is reaped here rather than returned — expiry does
+// not depend on a later open's GC sweep — and the whole table is swept
+// opportunistically at most once per quarter-TTL.
+func (s *Server) lookupSession(id uint64) *workerSession {
+	now := time.Now()
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if now.Sub(s.lastSessGC) > s.cfg.SessionTTL/4 {
+		s.gcSessionsLocked(now)
+	}
+	if e, ok := s.sessions[id]; ok {
+		if now.Sub(e.lastUsed) > s.cfg.SessionTTL {
+			delete(s.sessions, id)
+			e.sess.release()
+			s.m.sessExpired.Inc()
+			return nil
+		}
+		e.lastUsed = now
+		return e.sess
+	}
+	return nil
+}
+
+// sessEntry pairs a session with its TTL clock (touched under sessMu
+// so the GC never races the session's own mutex).
+type sessEntry struct {
+	sess     *workerSession
+	lastUsed time.Time
+}
+
+// gcSessionsLocked reaps sessions idle past SessionTTL. Caller holds
+// sessMu.
+func (s *Server) gcSessionsLocked(now time.Time) {
+	for id, e := range s.sessions {
+		if now.Sub(e.lastUsed) > s.cfg.SessionTTL {
+			delete(s.sessions, id)
+			e.sess.release()
+			s.m.sessExpired.Inc()
+		}
+	}
+	s.lastSessGC = now
+}
+
+// handleSession dispatches one FFS2 frame. raw stays valid (and owned
+// by the caller) for the duration of the call.
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request, raw []byte) {
+	hdr, err := DecodeSessionHeader(raw)
+	if err != nil {
+		s.m.sessBad.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch hdr.Op {
+	case OpSessOpen:
+		s.sessOpen(w, raw)
+	case OpSessCols:
+		s.sessCols(w, r, hdr, raw)
+	case OpSessExchange:
+		s.sessExchange(w, hdr, raw)
+	case OpSessRows:
+		s.sessRows(w, hdr)
+	case OpSessClose:
+		s.sessClose(w, hdr)
+	default:
+		s.m.sessBad.Inc()
+		http.Error(w, fmt.Sprintf("op %s is not a request", hdr.Op), http.StatusBadRequest)
+	}
+}
+
+func (s *Server) sessOpen(w http.ResponseWriter, raw []byte) {
+	s.m.sessOpens.Inc()
+	f, err := DecodeSessionFrame(raw) // materializes the spec
+	if err != nil {
+		s.m.sessBad.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec := *f.Spec
+	if spec.N1 > s.cfg.MaxN || spec.N2 > s.cfg.MaxN {
+		s.m.sessBad.Inc()
+		http.Error(w, fmt.Sprintf("four-step factors %d×%d exceed served maximum %d", spec.N1, spec.N2, s.cfg.MaxN),
+			http.StatusBadRequest)
+		return
+	}
+	if len(spec.Peers) > 0 && s.cfg.Peers == nil {
+		s.m.sessBad.Inc()
+		http.Error(w, "worker has no peer sender configured", http.StatusBadRequest)
+		return
+	}
+	now := time.Now()
+	s.sessMu.Lock()
+	s.gcSessionsLocked(now)
+	if _, ok := s.sessions[f.ID]; ok {
+		s.sessMu.Unlock()
+		s.m.sessBad.Inc()
+		http.Error(w, fmt.Sprintf("session %d already open", f.ID), http.StatusConflict)
+		return
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.sessMu.Unlock()
+		s.m.sessBad.Inc()
+		http.Error(w, "session table full", http.StatusTooManyRequests)
+		return
+	}
+	sess := &workerSession{id: f.ID, spec: spec, rows: AcquireComplex(spec.RowCount * spec.N2)}
+	s.sessions[f.ID] = &sessEntry{sess: sess, lastUsed: now}
+	s.sessMu.Unlock()
+	s.writeSessionFrame(w, SessionFrame{Op: OpSessAck, Flags: FlagResident, ID: f.ID})
+}
+
+func (s *Server) sessClose(w http.ResponseWriter, hdr SessionFrame) {
+	s.m.sessCloses.Inc()
+	s.sessMu.Lock()
+	e, ok := s.sessions[hdr.ID]
+	delete(s.sessions, hdr.ID)
+	s.sessMu.Unlock()
+	if ok {
+		e.sess.release()
+	}
+	// Closing an unknown (or already-closed) session acks anyway:
+	// coordinator abort paths close unconditionally.
+	s.writeSessionFrame(w, SessionFrame{Op: OpSessAck, ID: hdr.ID})
+}
+
+func (s *Server) sessCols(w http.ResponseWriter, r *http.Request, hdr SessionFrame, raw []byte) {
+	s.m.sessCols.Inc()
+	sess := s.lookupSession(hdr.ID)
+	if sess == nil {
+		s.m.sessBad.Inc()
+		http.Error(w, fmt.Sprintf("unknown session %d", hdr.ID), http.StatusNotFound)
+		return
+	}
+	spec := sess.spec
+	if hdr.VecLen != spec.N1 || hdr.VecCount != spec.ColCount || hdr.Arg0 != spec.ColStart {
+		s.m.sessBad.Inc()
+		http.Error(w, fmt.Sprintf("cols frame %d×%d@%d does not match session slice %d×%d@%d",
+			hdr.VecCount, hdr.VecLen, hdr.Arg0, spec.ColCount, spec.N1, spec.ColStart), http.StatusBadRequest)
+		return
+	}
+	// Wire → pooled scratch, no intermediate buffer.
+	scratch := AcquireComplex(hdr.VecLen * hdr.VecCount)
+	defer ReleaseComplex(scratch)
+	if _, err := DecodeSessionFrameInto(raw, *scratch); err != nil {
+		s.m.sessBad.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// One admission token covers the FFT dispatch and the peer pushes,
+	// so Drain's empty-queue test still means "nothing in flight".
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.m.shedQueue.Inc()
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-s.sem }()
+
+	if err := s.execSessCols(r.Context(), sess, *scratch); err != nil {
+		s.m.internal.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.m.shardVecs.Add(int64(hdr.VecCount))
+	s.writeSessionFrame(w, SessionFrame{Op: OpSessAck, ID: hdr.ID})
+}
+
+// execSessCols runs the column phase: FFT + twiddle in place in the
+// pooled scratch, own rows scattered into the resident buffer, peer
+// blocks pushed as exchange frames. Engine panics become errors, the
+// same isolation boundary execShard draws.
+func (s *Server) execSessCols(ctx context.Context, sess *workerSession, cols []complex128) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.panics.Inc()
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("session cols panic: %w", e)
+			} else {
+				err = fmt.Errorf("session cols panic: %v", r)
+			}
+		}
+	}()
+	spec := sess.spec
+	plan, err := codeletfft.CachedHostPlan(spec.N1, s.planOpts...)
+	if err != nil {
+		return err
+	}
+	batch := make([][]complex128, spec.ColCount)
+	for v := range batch {
+		batch[v] = cols[v*spec.N1 : (v+1)*spec.N1]
+	}
+	if err := plan.TransformBatch(batch); err != nil {
+		return err
+	}
+	totalN := spec.N1 * spec.N2
+	pow2 := fft.Log2(totalN) >= 0
+	tw, err := twiddleCache.GetOrCreate(totalN, func() ([]complex128, error) {
+		if pow2 {
+			return fft.Twiddles(totalN), nil
+		}
+		return fft.TwiddlesAny(totalN), nil
+	})
+	if err != nil {
+		return err
+	}
+	for v := range batch {
+		if pow2 {
+			fft.TwiddleScale(batch[v], tw, spec.ColStart+v, totalN)
+		} else {
+			fft.TwiddleScaleAny(batch[v], tw, spec.ColStart+v, totalN)
+		}
+	}
+
+	// Own row block: scratch → resident rows buffer.
+	sess.mu.Lock()
+	if sess.rows == nil {
+		sess.mu.Unlock()
+		return fmt.Errorf("session %d is closed", sess.id)
+	}
+	rows := *sess.rows
+	for v := 0; v < spec.ColCount; v++ {
+		col := cols[v*spec.N1 : (v+1)*spec.N1]
+		for i := 0; i < spec.RowCount; i++ {
+			rows[i*spec.N2+spec.ColStart+v] = col[spec.RowStart+i]
+		}
+	}
+	sess.colsSeen += spec.ColCount
+	sess.mu.Unlock()
+
+	// Peer row blocks: scratch → pooled exchange frames → peers, in
+	// parallel. Any push failure fails the cols request, and the
+	// coordinator aborts the whole resident attempt.
+	if len(spec.Peers) == 0 {
+		return nil
+	}
+	if s.cfg.Peers == nil {
+		return fmt.Errorf("session %d names %d peers but the worker has no peer sender", sess.id, len(spec.Peers))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(spec.Peers))
+	for pi, p := range spec.Peers {
+		wg.Add(1)
+		go func(pi int, p PeerRange) {
+			defer wg.Done()
+			errs[pi] = s.pushExchange(ctx, sess, p, cols)
+		}(pi, p)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// pushExchange encodes peer p's row block straight out of the column
+// scratch into a pooled frame and delivers it.
+func (s *Server) pushExchange(ctx context.Context, sess *workerSession, p PeerRange, cols []complex128) error {
+	spec := sess.spec
+	f := SessionFrame{
+		Op: OpSessExchange, ID: sess.id,
+		VecLen: p.RowCount, VecCount: spec.ColCount,
+		Arg0: spec.ColStart, Arg1: p.RowStart,
+	}
+	size := SessionHeaderLen + 16*p.RowCount*spec.ColCount
+	bp := AcquireFrame(size)
+	defer ReleaseFrame(bp)
+	b := appendSessionHeader((*bp)[:0], f)
+	for v := 0; v < spec.ColCount; v++ {
+		col := cols[v*spec.N1 : (v+1)*spec.N1]
+		for i := 0; i < p.RowCount; i++ {
+			c := col[p.RowStart+i]
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(real(c)))
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(imag(c)))
+		}
+	}
+	resp, err := s.cfg.Peers.PushFrame(ctx, p.Addr, b)
+	if err != nil {
+		return fmt.Errorf("exchange to %s: %w", p.Addr, err)
+	}
+	ack, err := DecodeSessionFrame(resp)
+	if err != nil || ack.Op != OpSessAck {
+		return fmt.Errorf("exchange to %s: bad ack", p.Addr)
+	}
+	return nil
+}
+
+func (s *Server) sessExchange(w http.ResponseWriter, hdr SessionFrame, raw []byte) {
+	s.m.sessExchanges.Inc()
+	sess := s.lookupSession(hdr.ID)
+	if sess == nil {
+		s.m.sessBad.Inc()
+		http.Error(w, fmt.Sprintf("unknown session %d", hdr.ID), http.StatusNotFound)
+		return
+	}
+	spec := sess.spec
+	if hdr.Arg1 != spec.RowStart || hdr.VecLen != spec.RowCount || hdr.Arg0+hdr.VecCount > spec.N2 {
+		s.m.sessBad.Inc()
+		http.Error(w, fmt.Sprintf("exchange frame %d×%d@%d/%d does not fit session rows [%d,%d)×cols %d",
+			hdr.VecCount, hdr.VecLen, hdr.Arg0, hdr.Arg1, spec.RowStart, spec.RowStart+spec.RowCount, spec.N2),
+			http.StatusBadRequest)
+		return
+	}
+	payload := raw[SessionHeaderLen:]
+	sess.mu.Lock()
+	if sess.rows == nil {
+		sess.mu.Unlock()
+		s.m.sessBad.Inc()
+		http.Error(w, fmt.Sprintf("session %d is closed", hdr.ID), http.StatusConflict)
+		return
+	}
+	// Wire → resident rows buffer directly: vector v element i is
+	// matrix cell (row arg1+i, column arg0+v).
+	rows := *sess.rows
+	for v := 0; v < hdr.VecCount; v++ {
+		base := 16 * v * hdr.VecLen
+		for i := 0; i < hdr.VecLen; i++ {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(payload[base+16*i:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(payload[base+16*i+8:]))
+			rows[i*spec.N2+hdr.Arg0+v] = complex(re, im)
+		}
+	}
+	sess.colsSeen += hdr.VecCount
+	sess.mu.Unlock()
+	s.writeSessionFrame(w, SessionFrame{Op: OpSessAck, ID: hdr.ID})
+}
+
+func (s *Server) sessRows(w http.ResponseWriter, hdr SessionFrame) {
+	s.m.sessRows.Inc()
+	sess := s.lookupSession(hdr.ID)
+	if sess == nil {
+		s.m.sessBad.Inc()
+		http.Error(w, fmt.Sprintf("unknown session %d", hdr.ID), http.StatusNotFound)
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.m.shedQueue.Inc()
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-s.sem }()
+
+	spec := sess.spec
+	// The mutex is held through the response write: the rows buffer
+	// must not return to the pool while its bytes stream out.
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	switch {
+	case sess.rows == nil:
+		s.m.sessBad.Inc()
+		http.Error(w, fmt.Sprintf("session %d is closed", hdr.ID), http.StatusConflict)
+		return
+	case sess.rowsDone:
+		s.m.sessBad.Inc()
+		http.Error(w, fmt.Sprintf("session %d rows already fetched", hdr.ID), http.StatusConflict)
+		return
+	case sess.colsSeen != spec.N2:
+		s.m.sessBad.Inc()
+		http.Error(w, fmt.Sprintf("session %d has %d of %d columns", hdr.ID, sess.colsSeen, spec.N2),
+			http.StatusConflict)
+		return
+	}
+	if err := s.execSessRows(sess); err != nil {
+		s.m.internal.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	sess.rowsDone = true
+	s.m.shardVecs.Add(int64(spec.RowCount))
+	s.writeSessionFrame(w, SessionFrame{
+		Op: OpSessRows, ID: hdr.ID,
+		VecLen: spec.N2, VecCount: spec.RowCount, Arg0: spec.RowStart,
+		Data: (*sess.rows)[:spec.RowCount*spec.N2],
+	})
+}
+
+// execSessRows FFTs every resident row in place. Caller holds sess.mu
+// and has verified readiness.
+func (s *Server) execSessRows(sess *workerSession) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.panics.Inc()
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("session rows panic: %w", e)
+			} else {
+				err = fmt.Errorf("session rows panic: %v", r)
+			}
+		}
+	}()
+	spec := sess.spec
+	plan, err := codeletfft.CachedHostPlan(spec.N2, s.planOpts...)
+	if err != nil {
+		return err
+	}
+	rows := *sess.rows
+	batch := make([][]complex128, spec.RowCount)
+	for i := range batch {
+		batch[i] = rows[i*spec.N2 : (i+1)*spec.N2]
+	}
+	return plan.TransformBatch(batch)
+}
+
+// streamChunkElems is the payload chunk size for streaming writes:
+// 4096 elements = 64 KiB, large enough to amortize the write syscall,
+// small enough that the chunk buffer stays cache- and pool-friendly.
+const streamChunkElems = 4096
+
+// writeSessionFrame streams an FFS2 frame as header + payload chunks
+// encoded straight out of f.Data — the vectored-write path: no
+// contiguous copy of the whole frame ever exists on the worker.
+func (s *Server) writeSessionFrame(w http.ResponseWriter, f SessionFrame) {
+	hp := AcquireFrame(SessionHeaderLen)
+	defer ReleaseFrame(hp)
+	hdr := appendSessionHeader((*hp)[:0], f)
+	writeFrameStreaming(w, hdr, f.Data)
+}
+
+// writeFrameStreaming writes an already-encoded header followed by the
+// payload in pooled chunks.
+func writeFrameStreaming(w http.ResponseWriter, hdr []byte, data []complex128) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(hdr)+16*len(data)))
+	if _, err := w.Write(hdr); err != nil || len(data) == 0 {
+		return
+	}
+	cp := AcquireFrame(16 * min(streamChunkElems, len(data)))
+	defer ReleaseFrame(cp)
+	for off := 0; off < len(data); off += streamChunkElems {
+		end := min(off+streamChunkElems, len(data))
+		chunk := AppendComplexPayload((*cp)[:0], data[off:end])
+		if _, err := w.Write(chunk); err != nil {
+			return
+		}
+	}
+}
+
+// readShardBody reads a shard/session request body into a pooled
+// buffer (sized by Content-Length on the common path). The caller owns
+// the returned buffer and must ReleaseFrame it.
+func (s *Server) readShardBody(w http.ResponseWriter, r *http.Request) (*[]byte, error) {
+	// Generous bound: the largest payload plus the largest session spec.
+	limit := int64(SessionHeaderLen) + 16*int64(MaxFrameElems) + 1<<20
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if n := r.ContentLength; n >= 0 && n <= limit {
+		bp := AcquireFrame(int(n))
+		if _, err := io.ReadFull(body, *bp); err != nil {
+			ReleaseFrame(bp)
+			return nil, err
+		}
+		var extra [1]byte
+		if m, _ := body.Read(extra[:]); m > 0 {
+			ReleaseFrame(bp)
+			return nil, fmt.Errorf("request body longer than its declared length")
+		}
+		return bp, nil
+	}
+	b, err := readAll(body)
+	if err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

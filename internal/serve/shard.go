@@ -28,8 +28,14 @@ var twiddleCache = cache.New[int, []complex128](2, 4, func(n int) uint64 {
 	return h ^ h>>29
 })
 
-// handleShard executes one shard frame: decode, admit, batch-transform,
-// twiddle-scale (columns), respond with the canonical response frame.
+// handleShard executes one shard-endpoint frame. The body is read into
+// a pooled buffer and dispatched on its magic: FFS2 session frames go
+// to the resident-session handlers (session.go) unless sessions are
+// disabled — in which case they fall through to the FFS1 decoder and
+// fail with the same 400 an old worker would send, the behaviour the
+// coordinator's capability negotiation relies on. FFS1 one-shot frames
+// decode straight into pooled scratch, execute, and stream back out of
+// it.
 func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.m.shardRequests.Inc()
@@ -40,14 +46,32 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, shardHeaderLen+16*int64(MaxFrameElems))
-	raw, err := readAll(body)
+	bp, err := s.readShardBody(w, r)
 	if err != nil {
 		s.m.shardBad.Inc()
 		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	f, err := DecodeShardFrame(raw)
+	defer ReleaseFrame(bp)
+	raw := *bp
+
+	if IsSessionFrame(raw) && !s.cfg.DisableSessions {
+		s.handleSession(w, r, raw)
+		return
+	}
+
+	// FFS1 one-shot path: wire → pooled scratch, in-place execution,
+	// streamed response out of the same scratch.
+	elems := ShardFrameElems(raw)
+	if elems < 0 {
+		s.m.shardBad.Inc()
+		_, err := DecodeShardFrame(raw) // recover the precise rejection
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	scratch := AcquireComplex(elems)
+	defer ReleaseComplex(scratch)
+	f, err := DecodeShardFrameInto(raw, *scratch)
 	if err != nil {
 		s.m.shardBad.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -79,14 +103,9 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.shardOK.Inc()
 	s.m.shardVecs.Add(int64(f.VecCount()))
-	enc, err := EncodeShardFrame(f)
-	if err != nil {
-		s.m.internal.Inc()
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	_, _ = w.Write(enc)
+	hp := AcquireFrame(shardHeaderLen)
+	defer ReleaseFrame(hp)
+	writeFrameStreaming(w, appendShardHeader((*hp)[:0], f), f.Data)
 }
 
 // execShard transforms the frame's vectors in place. A panic inside the

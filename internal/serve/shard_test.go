@@ -77,13 +77,13 @@ func TestShardFrameRejects(t *testing.T) {
 
 	// Encoder-side rejects.
 	encCases := []ShardFrame{
-		{Op: OpRows, VecLen: 8, TotalN: 64, Data: randVecs(8, 1, 5)},               // rows with totalN
-		{Op: OpColumns, VecLen: 8, TotalN: 60, Data: randVecs(8, 1, 5)},            // totalN not pow2
-		{Op: OpColumns, VecLen: 8, TotalN: 16, Start: 1, Data: randVecs(8, 2, 5)},  // start+count > columns
-		{Op: OpColumns, VecLen: 3, TotalN: 64, Data: randVecs(3, 1, 5)},            // vecLen not pow2
-		{Op: shardOpCount, VecLen: 8, TotalN: 64, Data: randVecs(8, 1, 5)},         // unknown op
-		{Op: OpRows, VecLen: 8, Data: nil},                                         // no vectors
-		{Op: OpRows, VecLen: 8, Data: randVecs(1, 12, 5)},                          // ragged payload
+		{Op: OpRows, VecLen: 8, TotalN: 64, Data: randVecs(8, 1, 5)},              // rows with totalN
+		{Op: OpColumns, VecLen: 8, TotalN: 60, Data: randVecs(8, 1, 5)},           // totalN not pow2
+		{Op: OpColumns, VecLen: 8, TotalN: 16, Start: 1, Data: randVecs(8, 2, 5)}, // start+count > columns
+		{Op: OpColumns, VecLen: 3, TotalN: 64, Data: randVecs(3, 1, 5)},           // vecLen not pow2
+		{Op: shardOpCount, VecLen: 8, TotalN: 64, Data: randVecs(8, 1, 5)},        // unknown op
+		{Op: OpRows, VecLen: 8, Data: nil},                                        // no vectors
+		{Op: OpRows, VecLen: 8, Data: randVecs(1, 12, 5)},                         // ragged payload
 	}
 	for i, f := range encCases {
 		if _, err := EncodeShardFrame(f); !errors.Is(err, ErrBadFrame) {

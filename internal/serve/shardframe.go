@@ -38,7 +38,6 @@ package serve
 import (
 	"encoding/binary"
 	"fmt"
-	"math"
 )
 
 // ShardOp selects what a worker does with a shard frame's vectors.
@@ -67,9 +66,12 @@ func (op ShardOp) String() string {
 }
 
 const (
-	shardMagic     = "FFS1"
-	shardVersion   = 1
-	shardHeaderLen = 32
+	shardMagic   = "FFS1"
+	shardVersion = 1
+	// ShardHeaderLen is the fixed FFS1 header size — callers accounting
+	// wire bytes add 16 per payload element.
+	ShardHeaderLen = 32
+	shardHeaderLen = ShardHeaderLen
 )
 
 // ShardFrame is one decoded shard request or response: len(Data) =
@@ -143,17 +145,20 @@ func AppendShardFrame(dst []byte, f ShardFrame) ([]byte, error) {
 	if err := validateShard(f.Op, f.VecLen, f.VecCount(), f.TotalN, f.Start); err != nil {
 		return nil, err
 	}
+	return AppendComplexPayload(appendShardHeader(dst, f), f.Data), nil
+}
+
+// appendShardHeader writes the 32-byte FFS1 header only — the seam the
+// streaming response writer uses to emit a header followed by payload
+// chunks encoded straight out of the pooled shard buffer.
+func appendShardHeader(dst []byte, f ShardFrame) []byte {
 	dst = append(dst, shardMagic...)
 	dst = append(dst, shardVersion, byte(f.Op), 0, 0)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.VecLen))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.VecCount()))
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(f.TotalN))
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(f.Start))
-	for _, c := range f.Data {
-		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(real(c)))
-		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(imag(c)))
-	}
-	return dst, nil
+	return dst
 }
 
 // EncodeShardFrame encodes the frame into a fresh buffer.
@@ -165,6 +170,34 @@ func EncodeShardFrame(f ShardFrame) ([]byte, error) {
 // exactly the frame — truncated payloads and trailing bytes are both
 // rejected.
 func DecodeShardFrame(b []byte) (ShardFrame, error) {
+	return decodeShard(b, nil, false)
+}
+
+// DecodeShardFrameInto parses one shard frame from b, decoding the
+// payload directly into dst — which must have exactly vecLen·vecCount
+// elements — so the wire bytes land in the worker's pooled scratch with
+// no intermediate allocation.
+func DecodeShardFrameInto(b []byte, dst []complex128) (ShardFrame, error) {
+	return decodeShard(b, dst, true)
+}
+
+// ShardFrameElems parses just enough of b to size a destination buffer
+// for DecodeShardFrameInto: the declared vecLen·vecCount, without
+// validating the rest of the frame. Returns -1 when b is shorter than a
+// header or the declared count exceeds MaxFrameElems.
+func ShardFrameElems(b []byte) int {
+	if len(b) < shardHeaderLen {
+		return -1
+	}
+	vecLen := int64(binary.LittleEndian.Uint32(b[8:12]))
+	vecCount := int64(binary.LittleEndian.Uint32(b[12:16]))
+	if n := vecLen * vecCount; n <= int64(MaxFrameElems) {
+		return int(n)
+	}
+	return -1
+}
+
+func decodeShard(b []byte, dst []complex128, into bool) (ShardFrame, error) {
 	if len(b) < shardHeaderLen {
 		return ShardFrame{}, fmt.Errorf("%w: %d bytes is shorter than the %d-byte shard header",
 			ErrBadFrame, len(b), shardHeaderLen)
@@ -197,12 +230,16 @@ func DecodeShardFrame(b []byte) (ShardFrame, error) {
 		return ShardFrame{}, fmt.Errorf("%w: payload is %d bytes, want exactly %d (%d×%d vectors)",
 			ErrBadFrame, len(payload), 16*count, vecCount, vecLen)
 	}
-	f := ShardFrame{Op: op, VecLen: vecLen, TotalN: int(totalN64), Start: int(start64),
-		Data: make([]complex128, count)}
-	for i := range f.Data {
-		re := math.Float64frombits(binary.LittleEndian.Uint64(payload[16*i:]))
-		im := math.Float64frombits(binary.LittleEndian.Uint64(payload[16*i+8:]))
-		f.Data[i] = complex(re, im)
+	f := ShardFrame{Op: op, VecLen: vecLen, TotalN: int(totalN64), Start: int(start64)}
+	if into {
+		if len(dst) != count {
+			return ShardFrame{}, fmt.Errorf("%w: destination has %d elements, frame carries %d",
+				ErrBadFrame, len(dst), count)
+		}
+		f.Data = dst
+	} else {
+		f.Data = make([]complex128, count)
 	}
+	DecodeComplexPayload(f.Data, payload)
 	return f, nil
 }
