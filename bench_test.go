@@ -361,6 +361,46 @@ func BenchmarkHostKernels(b *testing.B) {
 	}
 }
 
+// BenchmarkHostSoA tracks the split-plane SIMD pipeline on its own axis
+// — serial engine vs parallel engine with the fused radix-4 SoA kernel
+// — so an SoA-specific regression (codelet dispatch, pack/unpack, sweep
+// partitioning) gates even when the scalar kernels mask it in the
+// aggregate. Compare against BenchmarkHostSerial/BenchmarkHostParallel
+// at the same sizes for the scalar baseline:
+//
+//	go test -bench BenchmarkHostSoA -benchtime 3x
+func BenchmarkHostSoA(b *testing.B) {
+	for _, logN := range []int{18, 20} {
+		for _, parallel := range []bool{false, true} {
+			mode := "serial"
+			if parallel {
+				mode = "parallel"
+			}
+			b.Run(fmt.Sprintf("N=2^%d/%s", logN, mode), func(b *testing.B) {
+				n := 1 << logN
+				opts := []codeletfft.HostOption{
+					codeletfft.WithTaskSize(64),
+					codeletfft.WithKernel(codeletfft.KernelSoARadix4),
+				}
+				if !parallel {
+					opts = append(opts, codeletfft.WithWorkers(1))
+				}
+				h, err := codeletfft.NewHostPlan(n, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				data := noise(n, 1)
+				b.SetBytes(int64(n) * 16 * 2) // forward + inverse
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = h.Transform(data)
+					_ = h.Inverse(data)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkMixedRadix measures the arbitrary-N planner against the
 // power-of-two baseline at comparable sizes: N=2^20 (staged engine),
 // 3·2^18 and 10^6 (mixed-radix codelets), and the prime 2^20+7

@@ -54,6 +54,8 @@ const (
 	KernelRadix2     = fft.KernelRadix2
 	KernelRadix4     = fft.KernelRadix4
 	KernelSplitRadix = fft.KernelSplitRadix
+	KernelSoARadix2  = fft.KernelSoARadix2
+	KernelSoARadix4  = fft.KernelSoARadix4
 )
 
 // Kernels lists the concrete (executable) kernels in a stable order —
@@ -61,9 +63,19 @@ const (
 func Kernels() []Kernel { return fft.ConcreteKernels() }
 
 // ParseKernel maps kernel names ("auto", "radix2", "radix4",
-// "splitradix"; case-insensitive, "split-radix" accepted) to Kernel
+// "splitradix", "soa2", "soa4"; case-insensitive, "split-radix",
+// "soa-radix2", "soa-radix4" and plain "soa" accepted) to Kernel
 // values — the -kernel flag parser of the daemons.
 func ParseKernel(s string) (Kernel, error) { return fft.ParseKernel(s) }
+
+// Acceleration names the SIMD codelet backend the SoA kernels
+// (KernelSoARadix2, KernelSoARadix4) run on in this process:
+// "avx2+fma", "neon", or "generic" when the binary was built with the
+// noasm tag or the CPU lacks the features. The scalar kernels are
+// unaffected by it; KernelAuto measures whatever backend is active, so
+// a "generic" process simply tunes away from the SoA family when the
+// pure-Go loops lose.
+func Acceleration() string { return fft.SoAAccel() }
 
 // Plan is the one interface every transform provider implements: host
 // plans (NewHostPlan), cached host plans (CachedHostPlan), and the

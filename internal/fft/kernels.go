@@ -19,6 +19,10 @@ import (
 //	                   twiddle loads than radix-2.
 //	KernelSplitRadix — the split-radix (2/4) recursion, the lowest known
 //	                   flop count for power-of-two DFTs.
+//	KernelSoARadix2  — radix-2 levels on split real/imag (SoA) planes
+//	                   with SIMD codelets (AVX2/NEON) when available.
+//	KernelSoARadix4  — the SoA layout with fused radix-4 level pairs;
+//	                   see soa.go for layout and dispatch rules.
 //
 // KernelAuto is not an algorithm: it asks whichever layer can measure
 // (the facade autotuner, package tune) to pick a concrete kernel. Layers
@@ -46,6 +50,15 @@ const (
 	// KernelSplitRadix applies the split-radix 2/4 recursion inside each
 	// task group.
 	KernelSplitRadix
+	// KernelSoARadix2 runs the staged decomposition on split real/imag
+	// planes (see soa.go): one pooled deinterleave+bit-reversal pass,
+	// SIMD-dispatched radix-2 level codelets (fused radix-4 base for
+	// levels 0–1), one reinterleave pass.
+	KernelSoARadix2
+	// KernelSoARadix4 is the SoA layout with the remaining level pairs
+	// fused into 3-multiply radix-4 butterflies — the highest-throughput
+	// kernel on AVX2/NEON hardware.
+	KernelSoARadix4
 
 	numKernels
 )
@@ -53,7 +66,15 @@ const (
 // ConcreteKernels lists the executable kernels (excluding KernelAuto) in
 // a stable order — the candidate set the autotuner races.
 func ConcreteKernels() []Kernel {
-	return []Kernel{KernelRadix2, KernelRadix4, KernelSplitRadix}
+	return []Kernel{KernelRadix2, KernelRadix4, KernelSplitRadix, KernelSoARadix2, KernelSoARadix4}
+}
+
+// SoA reports whether k (after Auto resolution) is one of the
+// split-plane kernels, which execute through the SoA pipeline
+// (TransformSoA / SoARunPass) rather than per-task RunTaskKernel.
+func (k Kernel) SoA() bool {
+	c := k.Concrete()
+	return c == KernelSoARadix2 || c == KernelSoARadix4
 }
 
 // Concrete resolves KernelAuto to the package default (KernelRadix2) and
@@ -78,6 +99,10 @@ func (k Kernel) String() string {
 		return "radix4"
 	case KernelSplitRadix:
 		return "splitradix"
+	case KernelSoARadix2:
+		return "soa2"
+	case KernelSoARadix4:
+		return "soa4"
 	}
 	return fmt.Sprintf("kernel(%d)", uint8(k))
 }
@@ -94,8 +119,12 @@ func ParseKernel(s string) (Kernel, error) {
 		return KernelRadix4, nil
 	case "splitradix", "split-radix", "sr":
 		return KernelSplitRadix, nil
+	case "soa2", "soa-radix2":
+		return KernelSoARadix2, nil
+	case "soa4", "soa-radix4", "soa":
+		return KernelSoARadix4, nil
 	}
-	return KernelAuto, fmt.Errorf("fft: unknown kernel %q (want auto, radix2, radix4 or splitradix)", s)
+	return KernelAuto, fmt.Errorf("fft: unknown kernel %q (want auto, radix2, radix4, splitradix, soa2 or soa4)", s)
 }
 
 // The higher-radix kernels rest on one identity. A group of stage
@@ -258,6 +287,11 @@ func (pl *Plan) RunTaskKernel(stage, task int, data, w []complex128, kern Kernel
 	if kern == KernelRadix2 {
 		return pl.RunTask(stage, task, data, w, nil, sc)
 	}
+	if kern.SoA() {
+		// The SoA family works on split planes, not on the interleaved
+		// data array; pass execution goes through SoARunPass.
+		panic(fmt.Sprintf("fft: RunTaskKernel does not support %v (use SoARunPass)", kern))
+	}
 	pl.checkTask(stage, task)
 	v := pl.Levels(stage)
 	gsz := int64(pl.GroupSize(stage))
@@ -300,6 +334,12 @@ func (pl *Plan) TransformKernel(data, w []complex128, kern Kernel) {
 func (pl *Plan) TransformKernelWith(data, w []complex128, kern Kernel, sc *Scratch) {
 	if kern.Concrete() == KernelRadix2 {
 		pl.TransformWith(data, w, sc)
+		return
+	}
+	if kern.SoA() {
+		// The SoA pipeline brings its own pooled split-plane scratch;
+		// sc is unused.
+		pl.TransformSoA(data, w, kern)
 		return
 	}
 	if len(data) != pl.N {

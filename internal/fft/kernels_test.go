@@ -273,7 +273,7 @@ func FuzzKernelParity(f *testing.F) {
 			t.Fatalf("NewPlan(%d, %d): %v", n, p, err)
 		}
 		w := fft.Twiddles(n)
-		kern := fft.ConcreteKernels()[int(k8)%3]
+		kern := fft.ConcreteKernels()[int(k8)%len(fft.ConcreteKernels())]
 
 		want := append([]complex128(nil), x...)
 		pl.Transform(want, w)

@@ -1,6 +1,9 @@
 package fft
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Plan describes the staged P-point-task decomposition of an N-point
 // radix-2 DIT FFT (paper section IV-A). After a bit-reversal permutation
@@ -21,6 +24,12 @@ type Plan struct {
 
 	NumStages     int
 	TasksPerStage int
+
+	// Lazily-built split-plane twiddle tables for the SoA kernel family
+	// (see soa.go). Guarded by soaOnce so Plan stays safe for concurrent
+	// use after NewPlan.
+	soaOnce sync.Once
+	soaTw   *SoATwiddles
 }
 
 // NewPlan validates n and p and returns the stage decomposition. The

@@ -1,0 +1,193 @@
+//go:build arm64 && !noasm
+
+#include "textflag.h"
+
+// NEON codelets for the SoA kernel family (2-wide float64 lanes). Same
+// calling contract as the AVX2 twins in soa_amd64.s, with cnt a
+// multiple of 2 and dist ≥ 2. The Go arm64 assembler has no named
+// vector float add/sub mnemonics, so sums and differences are formed
+// with VFMLA/VFMLS against an all-ones vector (V31) — a ± 1.0·b is
+// exact, so this is bit-identical to a plain vector add/subtract.
+
+// func bfly2Asm(re, im, wr, wi *float64, dist, cnt, nblk int)
+TEXT ·bfly2Asm(SB), NOSPLIT, $0-56
+	MOVD re+0(FP), R0
+	MOVD im+8(FP), R1
+	MOVD wr+16(FP), R2
+	MOVD wi+24(FP), R3
+	MOVD dist+32(FP), R4
+	LSL  $3, R4              // dist in bytes
+	MOVD cnt+40(FP), R5
+	LSR  $1, R5              // cnt/2 iterations per block
+	MOVD nblk+48(FP), R6
+	FMOVD $1.0, F31
+	VDUP V31.D[0], V31.D2    // ones
+
+bfly2_blk:
+	MOVD R2, R8              // wr cursor (restarts per block)
+	MOVD R3, R9              // wi cursor
+	MOVD R0, R10             // &re[k+j]
+	MOVD R1, R11             // &im[k+j]
+	ADD  R4, R0, R12         // &re[k+j+dist]
+	ADD  R4, R1, R13         // &im[k+j+dist]
+	MOVD R5, R14             // iteration counter
+
+bfly2_inner:
+	VLD1.P 16(R8), [V0.D2]   // wr[j]
+	VLD1.P 16(R9), [V1.D2]   // wi[j]
+	VLD1   (R10), [V2.D2]    // ar
+	VLD1   (R11), [V3.D2]    // ai
+	VLD1   (R12), [V4.D2]    // br
+	VLD1   (R13), [V5.D2]    // bi
+
+	VEOR  V6.B16, V6.B16, V6.B16
+	VFMLA V4.D2, V0.D2, V6.D2  // + wr·br
+	VFMLS V5.D2, V1.D2, V6.D2  // tr = wr·br − wi·bi
+	VEOR  V7.B16, V7.B16, V7.B16
+	VFMLA V5.D2, V0.D2, V7.D2
+	VFMLA V4.D2, V1.D2, V7.D2  // ti = wr·bi + wi·br
+
+	VORR  V2.B16, V2.B16, V8.B16
+	VFMLS V6.D2, V31.D2, V8.D2 // br' = ar − tr
+	VFMLA V6.D2, V31.D2, V2.D2 // ar' = ar + tr
+	VORR  V3.B16, V3.B16, V9.B16
+	VFMLS V7.D2, V31.D2, V9.D2
+	VFMLA V7.D2, V31.D2, V3.D2
+
+	VST1.P [V2.D2], 16(R10)
+	VST1.P [V3.D2], 16(R11)
+	VST1.P [V8.D2], 16(R12)
+	VST1.P [V9.D2], 16(R13)
+
+	SUB  $1, R14
+	CBNZ R14, bfly2_inner
+
+	ADD  R4<<1, R0           // next 2·dist block
+	ADD  R4<<1, R1
+	SUB  $1, R6
+	CBNZ R6, bfly2_blk
+
+	RET
+
+// func bfly4Asm(re, im, war, wai, wbr, wbi *float64, dist, cnt, nblk int)
+//
+// Fused radix-4 level pair; the dataflow mirrors bfly4Asm in
+// soa_amd64.s (b1/b3, p/q/s/t, ws/wt, y0..y3 with the −i fold).
+TEXT ·bfly4Asm(SB), NOSPLIT, $0-72
+	MOVD re+0(FP), R0
+	MOVD im+8(FP), R1
+	MOVD war+16(FP), R2
+	MOVD wai+24(FP), R3
+	MOVD wbr+32(FP), R4
+	MOVD wbi+40(FP), R5
+	MOVD dist+48(FP), R6
+	LSL  $3, R6              // dist in bytes
+	MOVD cnt+56(FP), R7
+	LSR  $1, R7              // cnt/2 iterations per block
+	MOVD nblk+64(FP), R22
+	FMOVD $1.0, F31
+	VDUP V31.D[0], V31.D2    // ones
+
+bfly4_blk:
+	MOVD R0, R8              // x0r
+	MOVD R1, R9              // x0i
+	ADD  R6, R0, R10         // x1r
+	ADD  R6, R1, R11         // x1i
+	ADD  R6<<1, R0, R12      // x2r
+	ADD  R6<<1, R1, R13      // x2i
+	ADD  R6, R12, R14        // x3r
+	ADD  R6, R13, R15        // x3i
+	MOVD R2, R16             // war cursor
+	MOVD R3, R17             // wai cursor
+	MOVD R4, R19             // wbr cursor
+	MOVD R5, R20             // wbi cursor
+	MOVD R7, R21             // iteration counter
+
+bfly4_inner:
+	VLD1.P 16(R16), [V0.D2]  // war
+	VLD1.P 16(R17), [V1.D2]  // wai
+	VLD1.P 16(R19), [V2.D2]  // wbr
+	VLD1.P 16(R20), [V3.D2]  // wbi
+	VLD1   (R8), [V4.D2]     // x0r
+	VLD1   (R9), [V5.D2]     // x0i
+	VLD1   (R10), [V6.D2]    // x1r
+	VLD1   (R11), [V7.D2]    // x1i
+	VLD1   (R12), [V8.D2]    // x2r
+	VLD1   (R13), [V9.D2]    // x2i
+	VLD1   (R14), [V10.D2]   // x3r
+	VLD1   (R15), [V11.D2]   // x3i
+
+	VEOR  V12.B16, V12.B16, V12.B16
+	VFMLA V6.D2, V0.D2, V12.D2   // b1r = war·x1r − wai·x1i
+	VFMLS V7.D2, V1.D2, V12.D2
+	VEOR  V13.B16, V13.B16, V13.B16
+	VFMLA V7.D2, V0.D2, V13.D2   // b1i = war·x1i + wai·x1r
+	VFMLA V6.D2, V1.D2, V13.D2
+
+	VEOR  V6.B16, V6.B16, V6.B16
+	VFMLA V10.D2, V0.D2, V6.D2   // b3r
+	VFMLS V11.D2, V1.D2, V6.D2
+	VEOR  V7.B16, V7.B16, V7.B16
+	VFMLA V11.D2, V0.D2, V7.D2   // b3i
+	VFMLA V10.D2, V1.D2, V7.D2
+
+	VORR  V4.B16, V4.B16, V0.B16
+	VFMLA V12.D2, V31.D2, V0.D2  // pr = x0r + b1r
+	VFMLS V12.D2, V31.D2, V4.D2  // qr = x0r − b1r
+	VORR  V5.B16, V5.B16, V1.B16
+	VFMLA V13.D2, V31.D2, V1.D2  // pi
+	VFMLS V13.D2, V31.D2, V5.D2  // qi
+
+	VORR  V8.B16, V8.B16, V10.B16
+	VFMLA V6.D2, V31.D2, V10.D2  // sr = x2r + b3r
+	VFMLS V6.D2, V31.D2, V8.D2   // tr
+	VORR  V9.B16, V9.B16, V11.B16
+	VFMLA V7.D2, V31.D2, V11.D2  // si
+	VFMLS V7.D2, V31.D2, V9.D2   // ti
+
+	VEOR  V12.B16, V12.B16, V12.B16
+	VFMLA V10.D2, V2.D2, V12.D2  // wsr = wbr·sr − wbi·si
+	VFMLS V11.D2, V3.D2, V12.D2
+	VEOR  V13.B16, V13.B16, V13.B16
+	VFMLA V11.D2, V2.D2, V13.D2  // wsi
+	VFMLA V10.D2, V3.D2, V13.D2
+
+	VEOR  V6.B16, V6.B16, V6.B16
+	VFMLA V8.D2, V2.D2, V6.D2    // wtr
+	VFMLS V9.D2, V3.D2, V6.D2
+	VEOR  V7.B16, V7.B16, V7.B16
+	VFMLA V9.D2, V2.D2, V7.D2    // wti
+	VFMLA V8.D2, V3.D2, V7.D2
+
+	VORR  V0.B16, V0.B16, V10.B16
+	VFMLA V12.D2, V31.D2, V10.D2 // y0r = pr + wsr
+	VFMLS V12.D2, V31.D2, V0.D2  // y2r
+	VORR  V1.B16, V1.B16, V11.B16
+	VFMLA V13.D2, V31.D2, V11.D2 // y0i
+	VFMLS V13.D2, V31.D2, V1.D2  // y2i
+
+	VORR  V4.B16, V4.B16, V8.B16
+	VFMLA V7.D2, V31.D2, V8.D2   // y1r = qr + wti
+	VFMLS V7.D2, V31.D2, V4.D2   // y3r = qr − wti
+	VORR  V5.B16, V5.B16, V9.B16
+	VFMLS V6.D2, V31.D2, V9.D2   // y1i = qi − wtr
+	VFMLA V6.D2, V31.D2, V5.D2   // y3i = qi + wtr
+
+	VST1.P [V10.D2], 16(R8)
+	VST1.P [V11.D2], 16(R9)
+	VST1.P [V8.D2], 16(R10)
+	VST1.P [V9.D2], 16(R11)
+	VST1.P [V0.D2], 16(R12)
+	VST1.P [V1.D2], 16(R13)
+	VST1.P [V4.D2], 16(R14)
+	VST1.P [V5.D2], 16(R15)
+
+	SUB  $1, R21
+	CBNZ R21, bfly4_inner
+
+	ADD  R6<<2, R0           // next 4·dist block
+	ADD  R6<<2, R1
+	SUB  $1, R22
+	CBNZ R22, bfly4_blk
+
+	RET

@@ -1,0 +1,84 @@
+// SoA kernel family tests on the exported surface. DFT parity and
+// serial/parallel/batch bitwise identity are covered by the cross-kernel
+// suites in kernels_test.go and internal/host, which iterate
+// ConcreteKernels and so extend to the SoA kernels automatically; this
+// file adds what is SoA-specific — the pooled-scratch allocation
+// guarantee, the accel introspection string, and a dedicated fuzz
+// target for the split-plane pipeline.
+package fft_test
+
+import (
+	"testing"
+
+	"codeletfft/internal/fft"
+)
+
+// TestSoAAccelNamed: the backend string is one of the documented values.
+func TestSoAAccelNamed(t *testing.T) {
+	switch got := fft.SoAAccel(); got {
+	case "avx2+fma", "neon", "generic":
+	default:
+		t.Fatalf("SoAAccel() = %q, not a documented backend", got)
+	}
+}
+
+// TestSoATransformAllocs pins the tentpole's pooling contract: after
+// the plan's split twiddle tables and the frame pool are warm, a
+// steady-state TransformSoA performs zero allocations.
+func TestSoATransformAllocs(t *testing.T) {
+	for _, kern := range []fft.Kernel{fft.KernelSoARadix2, fft.KernelSoARadix4} {
+		pl, err := fft.NewPlan(1<<12, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := fft.Twiddles(pl.N)
+		data := lcgComplex(pl.N, 99)
+		pl.TransformKernelWith(data, w, kern, nil) // warm tables and pools
+		if avg := testing.AllocsPerRun(20, func() {
+			pl.TransformKernelWith(data, w, kern, nil)
+		}); avg != 0 {
+			t.Errorf("%v: %v allocs per steady-state transform, want 0", kern, avg)
+		}
+	}
+}
+
+// FuzzSoAParity fuzzes (input, task size, SoA kernel selector): the SoA
+// kernel's forward output must match radix-2 within the documented 1e-9
+// relative tolerance, and its forward+inverse round trip must return
+// the input. Part of the CI fuzz smoke alongside FuzzKernelParity,
+// which draws from all kernels — this target keeps every execution on
+// the split-plane pipeline so the fuzz budget is not diluted.
+func FuzzSoAParity(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(0), false)
+	f.Add(make([]byte, 256), uint8(5), true)
+	f.Add([]byte{255, 0, 128, 64, 32, 16, 200, 100, 9, 8, 7, 6, 5, 4, 3, 2}, uint8(2), false)
+	f.Fuzz(func(t *testing.T, raw []byte, p8 uint8, radix4 bool) {
+		x, p := fuzzInput(raw, p8)
+		if x == nil {
+			t.Skip("input too short")
+		}
+		n := len(x)
+		pl, err := fft.NewPlan(n, p)
+		if err != nil {
+			t.Fatalf("NewPlan(%d, %d): %v", n, p, err)
+		}
+		w := fft.Twiddles(n)
+		kern := fft.KernelSoARadix2
+		if radix4 {
+			kern = fft.KernelSoARadix4
+		}
+
+		want := append([]complex128(nil), x...)
+		pl.Transform(want, w)
+		got := append([]complex128(nil), x...)
+		pl.TransformKernel(got, w, kern)
+		if rel := maxRelError(got, want); rel > 1e-9 {
+			t.Fatalf("n=%d p=%d %v: relative error %g vs radix-2", n, p, kern, rel)
+		}
+
+		pl.InverseTransformKernel(got, w, kern)
+		if rel := maxRelError(got, x); rel > 1e-9 {
+			t.Fatalf("n=%d p=%d %v: round-trip relative error %g", n, p, kern, rel)
+		}
+	})
+}

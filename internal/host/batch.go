@@ -30,6 +30,7 @@ const (
 	passStage            // unit: one (transform, task) pair of the current stage
 	passConj             // unit: one transform's conjugation sweep
 	passConjScale        // unit: one transform's conjugate-and-scale sweep
+	passWhole            // unit: one complete SoA transform (pack→stages→unpack)
 )
 
 // passLabel maps a batch pass kind to its Observer label; stage passes
@@ -38,7 +39,7 @@ func passLabel(mode int, kern fft.Kernel) string {
 	switch mode {
 	case passBitRev:
 		return PassBitRev
-	case passStage:
+	case passStage, passWhole:
 		return StagePassLabel(kern)
 	case passConj:
 		return PassConj
@@ -123,6 +124,10 @@ func (job *batchJob) run(scratch *sync.Pool) {
 			tps := int64(job.pl.TasksPerStage)
 			for u := lo; u < hi; u++ {
 				job.pl.RunTaskKernel(job.stage, int(u%tps), job.batch[u/tps], job.w, job.kern, sc)
+			}
+		case passWhole:
+			for t := lo; t < hi; t++ {
+				job.pl.TransformSoA(job.batch[t], job.w, job.kern)
 			}
 		case passConj:
 			for t := lo; t < hi; t++ {
@@ -213,9 +218,18 @@ func (e *Engine) TransformBatchKernel(pl *fft.Plan, batch [][]complex128, w []co
 	e.ensurePool()
 	job := jobPool.Get().(*batchJob)
 	job.pl, job.batch, job.w, job.kern = pl, batch, w, kern
-	e.runPass(job, passBitRev, 0, int64(len(batch)))
-	for s := 0; s < pl.NumStages; s++ {
-		e.runPass(job, passStage, s, int64(len(batch))*int64(pl.TasksPerStage))
+	if kern.SoA() {
+		// SoA transforms are whole-pipeline units (each packs into its
+		// own pooled frame), so the batch steals complete transforms
+		// instead of (transform, task) pairs — same result bitwise,
+		// since TransformSoA is partition-independent.
+		pl.SoATwiddles(w)
+		e.runPass(job, passWhole, 0, int64(len(batch)))
+	} else {
+		e.runPass(job, passBitRev, 0, int64(len(batch)))
+		for s := 0; s < pl.NumStages; s++ {
+			e.runPass(job, passStage, s, int64(len(batch))*int64(pl.TasksPerStage))
+		}
 	}
 	e.releaseJob(job)
 	e.batchDone(len(batch), pl.N, t0)
@@ -250,9 +264,14 @@ func (e *Engine) InverseBatchKernel(pl *fft.Plan, batch [][]complex128, w []comp
 	job := jobPool.Get().(*batchJob)
 	job.pl, job.batch, job.w, job.kern = pl, batch, w, kern
 	e.runPass(job, passConj, 0, int64(len(batch)))
-	e.runPass(job, passBitRev, 0, int64(len(batch)))
-	for s := 0; s < pl.NumStages; s++ {
-		e.runPass(job, passStage, s, int64(len(batch))*int64(pl.TasksPerStage))
+	if kern.SoA() {
+		pl.SoATwiddles(w)
+		e.runPass(job, passWhole, 0, int64(len(batch)))
+	} else {
+		e.runPass(job, passBitRev, 0, int64(len(batch)))
+		for s := 0; s < pl.NumStages; s++ {
+			e.runPass(job, passStage, s, int64(len(batch))*int64(pl.TasksPerStage))
+		}
 	}
 	job.scale = 1 / float64(pl.N)
 	e.runPass(job, passConjScale, 0, int64(len(batch)))

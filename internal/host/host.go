@@ -41,6 +41,12 @@ const (
 
 	PassStageMixed = "stage_mixed" // one mixed-radix Stockham stage
 	PassChirp      = "chirp"       // Bluestein chirp pre/post-multiply sweep
+
+	// SoA-kernel passes: the split-plane pipeline replaces the plain
+	// bit-reversal pass with a fused deinterleave+bitrev pack into the
+	// planes, and adds a reinterleave pass at the end.
+	PassSoAPack   = "soa_pack"   // deinterleave + bit-reverse into planes
+	PassSoAUnpack = "soa_unpack" // reinterleave planes into the data array
 )
 
 // Observer receives execution telemetry from an Engine: one

@@ -19,6 +19,8 @@ import (
 const (
 	PassStageRadix4     = "stage_radix4"     // radix-4 butterfly stage
 	PassStageSplitRadix = "stage_splitradix" // split-radix butterfly stage
+	PassStageSoA2       = "stage_soa2"       // SoA radix-2 level sweeps of one stage
+	PassStageSoA4       = "stage_soa4"       // SoA fused radix-4 level sweeps of one stage
 )
 
 // StagePassLabel returns the Observer label for a butterfly stage pass
@@ -30,6 +32,10 @@ func StagePassLabel(kern fft.Kernel) string {
 		return PassStageRadix4
 	case fft.KernelSplitRadix:
 		return PassStageSplitRadix
+	case fft.KernelSoARadix2:
+		return PassStageSoA2
+	case fft.KernelSoARadix4:
+		return PassStageSoA4
 	}
 	return PassStage
 }
@@ -47,6 +53,10 @@ func (e *Engine) TransformKernel(pl *fft.Plan, data, w []complex128, kern fft.Ke
 	}
 	if pl.N < e.threshold || e.workers <= 1 {
 		pl.TransformKernel(data, w, kern)
+		return
+	}
+	if kern.SoA() {
+		e.transformSoA(pl, data, w, kern)
 		return
 	}
 	t0 := e.passStart()
@@ -68,6 +78,38 @@ func (e *Engine) TransformKernel(pl *fft.Plan, data, w []complex128, kern fft.Ke
 		})
 		e.passDone(label, ts)
 	}
+}
+
+// transformSoA is the engine's parallel path for the split-plane
+// kernels: shard the fused pack+bitrev, run every stage's passes with
+// parallelFor over their units (a barrier after each pass, exactly the
+// ordering TransformSoA uses serially), shard the unpack. Units of one
+// pass touch disjoint plane elements and their results are independent
+// of the partition, so output is bitwise identical to the serial path.
+func (e *Engine) transformSoA(pl *fft.Plan, data, w []complex128, kern fft.Kernel) {
+	st := pl.SoATwiddles(w)
+	f := fft.GetSoAFrame(pl.N)
+	t0 := e.passStart()
+	e.parallelFor(pl.N, func(_, lo, hi int) {
+		f.PackBitrev(data, lo, hi, pl.LogN)
+	})
+	e.passDone(PassSoAPack, t0)
+	label := StagePassLabel(kern)
+	for stage := 0; stage < pl.NumStages; stage++ {
+		ts := e.passStart()
+		for pass, np := 0, pl.SoAPasses(stage, kern); pass < np; pass++ {
+			e.parallelFor(pl.SoAPassUnits(stage, pass, kern), func(_, lo, hi int) {
+				pl.SoARunPass(stage, pass, lo, hi, f, st, kern)
+			})
+		}
+		e.passDone(label, ts)
+	}
+	t1 := e.passStart()
+	e.parallelFor(pl.N, func(_, lo, hi int) {
+		f.Unpack(data, lo, hi)
+	})
+	e.passDone(PassSoAUnpack, t1)
+	f.Release()
 }
 
 // InverseTransformKernel is InverseTransform with a selectable kernel.

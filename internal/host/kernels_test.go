@@ -184,12 +184,18 @@ func TestKernelStagePassLabels(t *testing.T) {
 	}
 	w := fft.Twiddles(256)
 	cases := []struct {
-		kern  fft.Kernel
-		label string
+		kern    fft.Kernel
+		label   string
+		batched int // expected batched-path observations of the label
 	}{
-		{fft.KernelRadix2, host.PassStage},
-		{fft.KernelRadix4, host.PassStageRadix4},
-		{fft.KernelSplitRadix, host.PassStageSplitRadix},
+		{fft.KernelRadix2, host.PassStage, pl.NumStages},
+		{fft.KernelRadix4, host.PassStageRadix4, pl.NumStages},
+		{fft.KernelSplitRadix, host.PassStageSplitRadix, pl.NumStages},
+		// The SoA engine path reports its stage label once per stage like
+		// the others; the batched path steals whole transforms, so one
+		// dispatch reports the label once.
+		{fft.KernelSoARadix2, host.PassStageSoA2, 1},
+		{fft.KernelSoARadix4, host.PassStageSoA4, 1},
 	}
 	for _, tc := range cases {
 		if got := host.StagePassLabel(tc.kern); got != tc.label {
@@ -203,13 +209,24 @@ func TestKernelStagePassLabels(t *testing.T) {
 			t.Fatalf("%v: saw %d %q passes, want %d (all: %v)",
 				tc.kern, rec.passes[tc.label], tc.label, pl.NumStages, rec.passes)
 		}
+		if tc.kern.SoA() {
+			// The split-plane pipeline replaces bitrev with its fused
+			// pack pass and adds the unpack pass.
+			if rec.passes[host.PassSoAPack] != 1 || rec.passes[host.PassSoAUnpack] != 1 {
+				t.Fatalf("%v: pack/unpack passes = %d/%d, want 1/1 (all: %v)",
+					tc.kern, rec.passes[host.PassSoAPack], rec.passes[host.PassSoAUnpack], rec.passes)
+			}
+			if rec.passes[host.PassBitRev] != 0 {
+				t.Fatalf("%v: saw %d bitrev passes, want 0", tc.kern, rec.passes[host.PassBitRev])
+			}
+		}
 		// The batched path reports the same label.
 		rec2 := &passRecorder{}
 		eng2 := host.New(host.Config{Workers: 2, Threshold: 1, Observer: rec2})
 		batch := [][]complex128{kernInput(256, 2), kernInput(256, 3)}
 		eng2.TransformBatchKernel(pl, batch, w, tc.kern)
-		if rec2.passes[tc.label] != pl.NumStages {
-			t.Fatalf("%v batched: saw %d %q passes, want %d", tc.kern, rec2.passes[tc.label], tc.label, pl.NumStages)
+		if rec2.passes[tc.label] != tc.batched {
+			t.Fatalf("%v batched: saw %d %q passes, want %d", tc.kern, rec2.passes[tc.label], tc.label, tc.batched)
 		}
 	}
 }

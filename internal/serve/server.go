@@ -241,7 +241,8 @@ func newEngineObserver(r *metrics.Registry) *engineObserver {
 	// per-kernel stage labels (host.StagePassLabel), so the first
 	// radix-4 or split-radix batch doesn't race a map write.
 	for _, p := range []string{host.PassBitRev, host.PassStage, host.PassStageRadix4,
-		host.PassStageSplitRadix, host.PassConj, host.PassScale} {
+		host.PassStageSplitRadix, host.PassStageSoA2, host.PassStageSoA4,
+		host.PassSoAPack, host.PassSoAUnpack, host.PassConj, host.PassScale} {
 		passes[p] = r.Histogram("engine_pass_"+p+"_seconds", latency)
 	}
 	return &engineObserver{

@@ -92,7 +92,7 @@ func main() {
 	var (
 		oldPath    = flag.String("old", "", "baseline: bench text output or .json snapshot")
 		newPath    = flag.String("new", "", "candidate: bench text output or .json snapshot")
-		pattern    = flag.String("pattern", `^BenchmarkHost(Batch|Parallel|Kernels)`, "regexp selecting which benchmarks gate")
+		pattern    = flag.String("pattern", `^BenchmarkHost(Batch|Parallel|Kernels|SoA)`, "regexp selecting which benchmarks gate")
 		maxRegress = flag.Float64("max-regress", 0.15, "fail when geomean(new/old) exceeds 1+this")
 		snapshot   = flag.String("snapshot", "", "instead of gating, write -new results to this .json baseline")
 		note       = flag.String("note", "", "note stored in the snapshot")
@@ -169,8 +169,10 @@ func main() {
 	sort.Strings(names)
 
 	logSum := 0.0
+	ratios := make(map[string]float64, len(names))
 	for _, name := range names {
 		ratio := newRes[name] / oldRes[name]
+		ratios[name] = ratio
 		logSum += math.Log(ratio)
 		fmt.Printf("%-60s old %12.0f ns/op  new %12.0f ns/op  %+.1f%%\n",
 			name, oldRes[name], newRes[name], (ratio-1)*100)
@@ -180,6 +182,15 @@ func main() {
 	fmt.Printf("geomean ratio new/old: %.4f (limit %.4f over %d benchmarks)\n",
 		geomean, limit, len(names))
 	if geomean > limit {
+		// Re-print the table worst-first on stderr so the offending
+		// benchmarks lead the CI failure log instead of hiding in an
+		// alphabetical listing.
+		sort.Slice(names, func(i, j int) bool { return ratios[names[i]] > ratios[names[j]] })
+		fmt.Fprintln(os.Stderr, "per-benchmark ratios, worst first:")
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "  %-58s %+.1f%%  (old %.0f ns/op, new %.0f ns/op)\n",
+				name, (ratios[name]-1)*100, oldRes[name], newRes[name])
+		}
 		fmt.Fprintf(os.Stderr, "benchgate: FAIL — geomean regression %.1f%% exceeds %.0f%%\n",
 			(geomean-1)*100, *maxRegress*100)
 		os.Exit(1)
