@@ -486,4 +486,54 @@ func BenchmarkCluster(b *testing.B) {
 	}
 }
 
+// BenchmarkOOC measures the out-of-core staged path against the
+// all-in-RAM host transform at the same sizes, per scheduling policy —
+// the price of the spill staging (informational in CI's bench-compare
+// artifact, not gated; the OOC path's value is its memory bound, not
+// its speed). File I/O lands in the OS page cache at these sizes, so
+// this measures staging overhead, not disk.
+//
+//	go test -bench BenchmarkOOC -benchtime 3x
+func BenchmarkOOC(b *testing.B) {
+	for _, logN := range []int{18, 20} {
+		n := 1 << logN
+		data := noise(n, 3)
+		scratch := make([]complex128, n)
+		b.Run(fmt.Sprintf("N=2^%d/incore", logN), func(b *testing.B) {
+			h, err := codeletfft.CachedHostPlan(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(n) * 16)
+			for i := 0; i < b.N; i++ {
+				copy(scratch, data)
+				_ = h.Transform(scratch)
+			}
+		})
+		for _, pol := range []codeletfft.OOCPolicy{codeletfft.OOCFIFO(), codeletfft.OOCGuided(1)} {
+			name := "fifo"
+			if pol.Name() != "fifo" {
+				name = "guided"
+			}
+			b.Run(fmt.Sprintf("N=2^%d/ooc/%s", logN, name), func(b *testing.B) {
+				p, err := codeletfft.NewOOCPlan(n,
+					codeletfft.OOCSpillDir(b.TempDir()),
+					codeletfft.OOCMemoryBudget(64<<20),
+					codeletfft.OOCSchedule(pol))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(n) * 16)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					copy(scratch, data)
+					if err := p.Transform(scratch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 func byteSize(v int64) string { return fmt.Sprintf("%d", v) }

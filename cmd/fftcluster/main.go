@@ -13,7 +13,8 @@
 //	    -probe 500ms -hedge 0
 //
 // Endpoints: POST /fft/bin (binary frames, forward/inverse complex),
-// GET /metrics, GET /healthz, GET /debug/vars (expvar). SIGTERM/SIGINT
+// GET /metrics, GET /healthz, GET /debug/vars (expvar), and — with
+// -pprof — the net/http/pprof handlers under /debug/pprof/. SIGTERM/SIGINT
 // triggers a graceful drain: new requests shed with 503 while admitted
 // transforms finish.
 package main
@@ -136,6 +137,7 @@ func main() {
 		kernelName  = flag.String("local-kernel", "radix2", "butterfly kernel for degraded local execution: radix2, radix4, splitradix")
 		resident    = flag.Bool("resident", true, "use resident worker sessions (communication-avoiding path); false forces one-shot shards")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
+		pprofFlag   = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ on the serving mux")
 	)
 	flag.Parse()
 
@@ -185,6 +187,9 @@ func main() {
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if *pprofFlag {
+		serve.RegisterPprof(mux)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,

@@ -9,7 +9,8 @@
 //	go run ./cmd/fftserved -addr :8080 -window 2ms -max-batch 64
 //
 // Endpoints: POST /fft (JSON), POST /fft/bin (binary frames),
-// GET /metrics, GET /healthz, GET /debug/vars (expvar). With -worker
+// GET /metrics, GET /healthz, GET /debug/vars (expvar), and — with
+// -pprof — the net/http/pprof handlers under /debug/pprof/. With -worker
 // the daemon additionally serves POST /fft/shard, the cluster
 // shard-execution endpoint a fftcluster coordinator dispatches
 // four-step segments to.
@@ -47,6 +48,7 @@ func main() {
 		worker     = flag.Bool("worker", false, "serve POST /fft/shard so a fftcluster coordinator can dispatch four-step segments here")
 		sessions   = flag.Bool("sessions", true, "accept resident shard sessions (FFS2) in worker mode; false simulates an FFS1-only daemon")
 		kernelName = flag.String("kernel", "auto", "butterfly kernel: auto, radix2, radix4, splitradix (auto tunes per shape on first use and memoizes)")
+		pprof      = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ on the serving mux")
 	)
 	flag.Parse()
 
@@ -84,6 +86,9 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", s.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if *pprof {
+		serve.RegisterPprof(mux)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,

@@ -342,11 +342,11 @@ func (c *Coordinator) transformDist(ctx context.Context, data []complex128) erro
 	}
 	buf := make([]complex128, fs.N)
 	fs.GatherColumns(buf, data)
-	if err := c.runShards(ctx, serve.ShardFrame{Op: serve.OpColumns, VecLen: fs.N1, TotalN: fs.N}, buf, fs.N2); err != nil {
+	if err := c.runShards(ctx, serve.ShardFrame{Op: serve.OpColumns, VecLen: fs.N1, TotalN: fs.N}, buf, fs.N2, 0); err != nil {
 		return err
 	}
 	fs.ScatterColumns(data, buf)
-	if err := c.runShards(ctx, serve.ShardFrame{Op: serve.OpRows, VecLen: fs.N2}, data, fs.N1); err != nil {
+	if err := c.runShards(ctx, serve.ShardFrame{Op: serve.OpRows, VecLen: fs.N2}, data, fs.N1, 0); err != nil {
 		return err
 	}
 	fs.FinalTranspose(buf, data)
@@ -357,7 +357,12 @@ func (c *Coordinator) transformDist(ctx context.Context, data []complex128) erro
 // runShards splits vecCount contiguous vectors of proto.VecLen held in
 // data into ShardVecs-sized segments and executes them concurrently,
 // writing results back in place. The first error cancels the rest.
-func (c *Coordinator) runShards(ctx context.Context, proto serve.ShardFrame, data []complex128, vecCount int) error {
+// base offsets every frame's Start: a whole-transform pass uses 0,
+// while the out-of-core hook dispatches one RAM tile at a time and
+// passes the tile's first global vector index, so workers see the same
+// Start they would in a whole-transform pass (the column twiddle
+// exponent and the placement key both derive from it).
+func (c *Coordinator) runShards(ctx context.Context, proto serve.ShardFrame, data []complex128, vecCount, base int) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	sem := make(chan struct{}, c.cfg.MaxInflight)
@@ -368,7 +373,7 @@ func (c *Coordinator) runShards(ctx context.Context, proto serve.ShardFrame, dat
 		count := min(c.cfg.ShardVecs, vecCount-start)
 		seg := data[start*proto.VecLen : (start+count)*proto.VecLen]
 		req := proto
-		req.Start = start
+		req.Start = base + start
 		// The request owns a private copy of the payload: a hedge loser
 		// (or a timed-out straggler) may still be serializing the
 		// request when the winner's result is copied back into seg.

@@ -1,0 +1,74 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+
+	"codeletfft/internal/ooc"
+	"codeletfft/internal/serve"
+)
+
+// oocExecutor adapts the coordinator's shard fan-out to ooc.Executor,
+// so an out-of-core plan's RAM tiles are sharded across the worker set
+// instead of computed locally: each tile becomes a run of ShardVecs
+// frames with Start offset by the tile's position in the whole
+// transform, giving workers the same frames a whole-transform pass
+// would send — warm plan caches, same twiddle exponents — while the
+// coordinator only ever holds the staging tiles in memory. Placement,
+// retries, hedging, and degradation to local execution all apply per
+// shard, unchanged.
+type oocExecutor struct {
+	c *Coordinator
+}
+
+func (e oocExecutor) ExecCols(ctx context.Context, vecs []complex128, vecLen, startVec, totalN int) error {
+	proto := serve.ShardFrame{Op: serve.OpColumns, VecLen: vecLen, TotalN: totalN}
+	return e.c.runShards(ctx, proto, vecs, len(vecs)/vecLen, startVec)
+}
+
+func (e oocExecutor) ExecRows(ctx context.Context, vecs []complex128, vecLen int) error {
+	proto := serve.ShardFrame{Op: serve.OpRows, VecLen: vecLen}
+	return e.c.runShards(ctx, proto, vecs, len(vecs)/vecLen, 0)
+}
+
+// OOCPlan builds an out-of-core plan whose tile compute is sharded
+// across this coordinator's workers (see oocExecutor). n is bounded by
+// MaxClusterN — the shard frame's element limit also caps the TotalN a
+// worker will build a twiddle table for. The plan's I/O instruments
+// join the coordinator's registry, so one /metrics endpoint serves
+// both the shard counters and the per-channel prefetch counters.
+//
+// Worker kernels differ from the local path's, so a cluster-executed
+// out-of-core transform matches in-core results to rounding — the same
+// contract as Coordinator.Transform — rather than the local OOC path's
+// bitwise identity.
+func (c *Coordinator) OOCPlan(n int, opts ...ooc.Option) (*ooc.Plan, error) {
+	if err := checkN(n); err != nil {
+		return nil, err
+	}
+	opts = append(opts,
+		ooc.WithExecutor(oocExecutor{c}),
+		ooc.WithRegistry(c.cfg.Registry),
+	)
+	return ooc.NewPlan(n, opts...)
+}
+
+// TransformOOC runs one forward out-of-core transform over the worker
+// set with default plan options — the convenience wrapper for one-shot
+// use; call OOCPlan to reuse a plan or set spill/budget/policy options.
+func (c *Coordinator) TransformOOC(ctx context.Context, data []complex128, opts ...ooc.Option) error {
+	p, err := c.OOCPlan(len(data), opts...)
+	if err != nil {
+		return fmt.Errorf("dist: building ooc plan: %w", err)
+	}
+	return p.TransformCtx(ctx, data)
+}
+
+// InverseOOC is TransformOOC for the inverse transform.
+func (c *Coordinator) InverseOOC(ctx context.Context, data []complex128, opts ...ooc.Option) error {
+	p, err := c.OOCPlan(len(data), opts...)
+	if err != nil {
+		return fmt.Errorf("dist: building ooc plan: %w", err)
+	}
+	return p.InverseCtx(ctx, data)
+}

@@ -1,6 +1,9 @@
 package fft
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // FourStepPlan is the Bailey four-step factorization of an N-point DFT
 // into N = N1·N2: column FFTs, a twiddle scaling, row FFTs, and a final
@@ -132,6 +135,44 @@ func TwiddleScale(col, w []complex128, index, totalN int) {
 	e := 0
 	for k := range col {
 		col[k] *= TwiddleAt(w, e)
+		e += idx
+		if e >= totalN {
+			e -= totalN
+		}
+	}
+}
+
+// TwiddleDirect computes ω_n^e = exp(−2πi·e/n) for e in [0, n) without
+// a table, bit for bit equal to TwiddleAt(Twiddles(n), e): the first
+// half-turn evaluates the same cos/sin expression Twiddles stores, the
+// second half is its negation. It exists for out-of-core four-step
+// execution, where Twiddles(totalN) — 8·totalN bytes — would not fit
+// the memory budget the staging layer is there to enforce.
+func TwiddleDirect(e, n int) complex128 {
+	half := n / 2
+	neg := false
+	if e >= half {
+		e -= half
+		neg = true
+	}
+	ang := -2 * math.Pi * float64(e) / float64(n)
+	w := complex(math.Cos(ang), math.Sin(ang))
+	if neg {
+		return -w
+	}
+	return w
+}
+
+// TwiddleScaleDirect is TwiddleScale without the table: col[k] *=
+// ω_totalN^{index·k} with every factor computed by TwiddleDirect. For
+// any (col, index, totalN) it produces bitwise the same result as
+// TwiddleScale with w = Twiddles(totalN), so an out-of-core plan using
+// it stays bit-identical to the in-core four-step reference.
+func TwiddleScaleDirect(col []complex128, index, totalN int) {
+	idx := index % totalN
+	e := 0
+	for k := range col {
+		col[k] *= TwiddleDirect(e, totalN)
 		e += idx
 		if e >= totalN {
 			e -= totalN

@@ -193,3 +193,40 @@ func FuzzFourStepMatchesDirect(f *testing.F) {
 		}
 	})
 }
+
+// TestTwiddleDirectBitwise is the out-of-core contract: the table-free
+// twiddle evaluation must agree bit for bit with the table, at every
+// exponent, so an OOC transform that cannot afford Twiddles(totalN)
+// still reproduces the in-core four-step exactly.
+func TestTwiddleDirectBitwise(t *testing.T) {
+	for _, n := range []int{2, 4, 256, 1 << 12} {
+		w := fft.Twiddles(n)
+		for e := 0; e < n; e++ {
+			want := fft.TwiddleAt(w, e)
+			got := fft.TwiddleDirect(e, n)
+			if got != want {
+				t.Fatalf("n=%d e=%d: TwiddleDirect %v != TwiddleAt %v", n, e, want, got)
+			}
+		}
+	}
+}
+
+// TestTwiddleScaleDirectBitwise checks the whole scaling sweep, not
+// just single factors: for a sweep of column indices (including ones
+// exceeding totalN, which reduce mod totalN) the table-free scale must
+// leave bitwise the same column as the table-backed one.
+func TestTwiddleScaleDirectBitwise(t *testing.T) {
+	const totalN = 1 << 10
+	w := fft.Twiddles(totalN)
+	for _, index := range []int{0, 1, 5, 31, 512, 1023, 1024, 2049} {
+		tab := randComplex(64, int64(index)+99)
+		direct := append([]complex128(nil), tab...)
+		fft.TwiddleScale(tab, w, index, totalN)
+		fft.TwiddleScaleDirect(direct, index, totalN)
+		for k := range tab {
+			if tab[k] != direct[k] {
+				t.Fatalf("index %d k=%d: direct %v != table %v", index, k, direct[k], tab[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package ooc
+
+import (
+	"fmt"
+
+	"codeletfft/internal/metrics"
+)
+
+// meters holds the plan's pre-resolved instruments, so the I/O hot
+// paths do a map-free atomic add per operation. The paper's thesis —
+// imbalance, not throughput, is what limits FFTs — is what the
+// per-channel split exists to show: every byte the plan moves is
+// attributed to a modelled I/O channel by its file offset
+// (channel = offset/stripe mod channels, a RAID-stripe/multi-queue-SSD
+// model), and every time the compute loop outruns the prefetcher the
+// stall is charged to the channel that eventually delivered the tile.
+// A balanced schedule shows near-equal per-channel bytes and few
+// stalls; a skewed one shows exactly where the I/O bottleneck sits.
+type meters struct {
+	channels int
+	stripe   int64
+
+	// Per-channel prefetch accounting.
+	readBytesCh  []*metrics.Counter // ooc_prefetch_read_bytes_ch<i>_total
+	writeBytesCh []*metrics.Counter // ooc_prefetch_write_bytes_ch<i>_total
+	stallsCh     []*metrics.Counter // ooc_prefetch_stalls_ch<i>_total
+	stallNsCh    []*metrics.Counter // ooc_prefetch_stall_ns_ch<i>_total
+
+	// Prefetcher-side stalls: the reader wanted a tile buffer but
+	// compute/writeback still owned them all.
+	poolStalls  *metrics.Counter
+	poolStallNs *metrics.Counter
+
+	// Phase totals.
+	colsReadBytes  *metrics.Counter
+	colsWriteBytes *metrics.Counter
+	colsNs         *metrics.Counter
+	rowsReadBytes  *metrics.Counter
+	rowsWriteBytes *metrics.Counter
+	rowsNs         *metrics.Counter
+
+	segsWritten *metrics.Counter
+	segsRead    *metrics.Counter
+	corrupt     *metrics.Counter
+	transforms  *metrics.Counter
+}
+
+func newMeters(reg *metrics.Registry, channels int, stripe int64) *meters {
+	m := &meters{
+		channels:       channels,
+		stripe:         stripe,
+		poolStalls:     reg.Counter("ooc_pool_stalls_total"),
+		poolStallNs:    reg.Counter("ooc_pool_stall_ns_total"),
+		colsReadBytes:  reg.Counter("ooc_phase_cols_read_bytes_total"),
+		colsWriteBytes: reg.Counter("ooc_phase_cols_write_bytes_total"),
+		colsNs:         reg.Counter("ooc_phase_cols_ns_total"),
+		rowsReadBytes:  reg.Counter("ooc_phase_rows_read_bytes_total"),
+		rowsWriteBytes: reg.Counter("ooc_phase_rows_write_bytes_total"),
+		rowsNs:         reg.Counter("ooc_phase_rows_ns_total"),
+		segsWritten:    reg.Counter("ooc_segments_written_total"),
+		segsRead:       reg.Counter("ooc_segments_read_total"),
+		corrupt:        reg.Counter("ooc_segments_corrupt_total"),
+		transforms:     reg.Counter("ooc_transforms_total"),
+	}
+	for i := 0; i < channels; i++ {
+		m.readBytesCh = append(m.readBytesCh, reg.Counter(fmt.Sprintf("ooc_prefetch_read_bytes_ch%d_total", i)))
+		m.writeBytesCh = append(m.writeBytesCh, reg.Counter(fmt.Sprintf("ooc_prefetch_write_bytes_ch%d_total", i)))
+		m.stallsCh = append(m.stallsCh, reg.Counter(fmt.Sprintf("ooc_prefetch_stalls_ch%d_total", i)))
+		m.stallNsCh = append(m.stallNsCh, reg.Counter(fmt.Sprintf("ooc_prefetch_stall_ns_ch%d_total", i)))
+	}
+	return m
+}
+
+// chanOf maps a byte offset to its modelled I/O channel.
+func (m *meters) chanOf(byteOff int64) int {
+	c := int(byteOff/m.stripe) % m.channels
+	if c < 0 {
+		c += m.channels
+	}
+	return c
+}
+
+// onRead/onWrite account one positioned I/O against its channel and
+// the active phase's byte counter.
+func (m *meters) onRead(byteOff, n int64, phase *metrics.Counter) {
+	phase.Add(n)
+	m.readBytesCh[m.chanOf(byteOff)].Add(n)
+}
+
+func (m *meters) onWrite(byteOff, n int64, phase *metrics.Counter) {
+	phase.Add(n)
+	m.writeBytesCh[m.chanOf(byteOff)].Add(n)
+}
+
+// onStall charges a compute-side wait to the channel of the strip that
+// eventually arrived (identified by the byte offset of its first
+// fetch).
+func (m *meters) onStall(byteOff, ns int64) {
+	c := m.chanOf(byteOff)
+	m.stallsCh[c].Inc()
+	m.stallNsCh[c].Add(ns)
+}

@@ -1,0 +1,134 @@
+package ooc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Policy orders the independent work items of one out-of-core phase:
+// the strips a phase stages through RAM, and the segment fetches
+// inside each strip. Reordering never changes the transform's output —
+// every item reads and writes disjoint regions — only the sequence the
+// I/O channels see, which is exactly the knob the paper's scheduling
+// study turns: with FIFO, consecutive fetches land on consecutive file
+// stripes and pile onto one channel at a time; the guided order spreads
+// sibling groups across stripes the way the simulator's seeded-LIFO
+// pool spreads codelets across DRAM banks. The per-channel prefetch
+// counters (metrics.go) make the difference measurable.
+//
+// Order must return a permutation of [0, n); the plan validates it and
+// refuses a policy that drops or repeats items.
+type Policy interface {
+	// Name identifies the policy in logs and flag values.
+	Name() string
+	// Order returns the visit order for n items as a permutation of
+	// [0, n).
+	Order(n int) []int
+}
+
+// fifoPolicy visits items in natural order — the baseline the guided
+// order is measured against.
+type fifoPolicy struct{}
+
+// FIFO returns the natural-order policy.
+func FIFO() Policy { return fifoPolicy{} }
+
+func (fifoPolicy) Name() string { return "fifo" }
+
+func (fifoPolicy) Order(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// guidedGroup is the sibling-group width of the guided policy: items
+// are bundled in runs of this many adjacent indices (siblings share
+// file locality the way the paper's sibling codelets share a parent),
+// and the groups — not the items — are what the seed reorders.
+const guidedGroup = 8
+
+// guidedPolicy is the prefetch analogue of the paper's guided
+// scheduling (seeded initial order + LIFO pool): sibling groups of
+// adjacent items are visited in a seeded strided order so consecutive
+// groups land on different file stripes, and items inside a group run
+// last-in-first-out, keeping each group's locality burst intact.
+type guidedPolicy struct {
+	seed int
+}
+
+// Guided returns the seeded-LIFO sibling-group policy. Any seed is
+// accepted; equal seeds give equal orders.
+func Guided(seed int) Policy { return guidedPolicy{seed: seed} }
+
+func (g guidedPolicy) Name() string { return fmt.Sprintf("guided[seed=%d]", g.seed) }
+
+func (g guidedPolicy) Order(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	ngroups := (n + guidedGroup - 1) / guidedGroup
+	// A stride coprime with the group count visits every group once.
+	// Odd strides are coprime with the power-of-two group counts the
+	// four-step geometry produces; for other counts, walk the stride
+	// up until it is coprime.
+	seed := g.seed % ngroups
+	if seed < 0 {
+		seed += ngroups
+	}
+	stride := 2*(seed/2) + 1 // odd, seed-derived
+	for gcd(stride, ngroups) != 1 {
+		stride += 2
+	}
+	order := make([]int, 0, n)
+	gi := seed
+	for k := 0; k < ngroups; k++ {
+		hi := (gi + 1) * guidedGroup
+		if hi > n {
+			hi = n
+		}
+		for i := hi - 1; i >= gi*guidedGroup; i-- { // LIFO within the sibling group
+			order = append(order, i)
+		}
+		gi = (gi + stride) % ngroups
+	}
+	return order
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// ParsePolicy maps a flag value to a Policy: "fifo" (the default
+// ordering) or "guided" (seeded-LIFO sibling groups; the seed argument
+// applies only to it). Case-insensitive; "lifo" and "guided-lifo" are
+// accepted aliases for "guided".
+func ParsePolicy(name string, seed int) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "fifo":
+		return FIFO(), nil
+	case "guided", "lifo", "guided-lifo":
+		return Guided(seed), nil
+	default:
+		return nil, fmt.Errorf("ooc: unknown prefetch policy %q (want fifo or guided)", name)
+	}
+}
+
+// validOrder reports whether order is a permutation of [0, n).
+func validOrder(order []int, n int) bool {
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, i := range order {
+		if i < 0 || i >= n || seen[i] {
+			return false
+		}
+		seen[i] = true
+	}
+	return true
+}

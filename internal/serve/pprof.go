@@ -1,0 +1,19 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterPprof mounts the net/http/pprof handlers under /debug/pprof/
+// on mux — the daemons' -pprof flag. It exists because importing
+// net/http/pprof for its side effect registers on http.DefaultServeMux,
+// which the daemons deliberately do not serve; registering explicitly
+// keeps profiling opt-in and off the default mux.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled skips allocation-count guards under the race detector:
+// its instrumentation allocates, and sync.Pool deliberately drops a
+// fraction of Puts when built with -race, so a pooled zero-alloc
+// guarantee is unmeasurable there.
+const raceEnabled = true

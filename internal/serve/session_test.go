@@ -164,6 +164,9 @@ func TestSessionFrameRejects(t *testing.T) {
 // steady-state frame path — encode into a pooled buffer, decode into a
 // pooled scratch — must not allocate.
 func TestSessionFrameCodecAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector builds drop sync.Pool puts at random")
+	}
 	const vecLen, vecCount = 64, 16
 	f := SessionFrame{Op: OpSessCols, ID: 9, VecLen: vecLen, VecCount: vecCount, Data: randVecs(vecLen, vecCount, 8)}
 	enc, err := EncodeSessionFrame(f)

@@ -147,23 +147,50 @@ func main() {
 		os.Exit(2)
 	}
 
-	var names []string
+	var names, newOnly, oldOnly []string
 	for name := range newRes {
 		if _, ok := oldRes[name]; ok {
 			names = append(names, name)
 		} else {
-			fmt.Printf("new-only (skipped): %s\n", name)
+			newOnly = append(newOnly, name)
 		}
 	}
 	for name := range oldRes {
 		if re.MatchString(name) {
 			if _, ok := newRes[name]; !ok {
-				fmt.Printf("old-only (skipped): %s\n", name)
+				oldOnly = append(oldOnly, name)
 			}
 		}
 	}
+	sort.Strings(newOnly)
+	sort.Strings(oldOnly)
+	for _, name := range newOnly {
+		fmt.Printf("new-only (skipped): %s\n", name)
+	}
+	for _, name := range oldOnly {
+		fmt.Printf("old-only (skipped): %s\n", name)
+	}
 	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "benchgate: no common benchmarks to compare")
+		// Name exactly what went missing on each side, so a renamed
+		// benchmark or an over-narrow -bench regexp is diagnosable from
+		// the CI log instead of surfacing as a bare geomean error.
+		fmt.Fprintf(os.Stderr, "benchgate: no common benchmarks between %s and %s (pattern %s)\n",
+			*oldPath, *newPath, *pattern)
+		if len(oldOnly) > 0 {
+			fmt.Fprintf(os.Stderr, "  expected from the baseline but missing from %s:\n", *newPath)
+			for _, name := range oldOnly {
+				fmt.Fprintf(os.Stderr, "    %s\n", name)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "  baseline %s has no benchmarks matching the pattern\n", *oldPath)
+		}
+		if len(newOnly) > 0 {
+			fmt.Fprintf(os.Stderr, "  present only in %s (renamed, or baseline is stale?):\n", *newPath)
+			for _, name := range newOnly {
+				fmt.Fprintf(os.Stderr, "    %s\n", name)
+			}
+		}
+		fmt.Fprintln(os.Stderr, "  fix: widen the `go test -bench` selector or refresh the baseline with -snapshot")
 		os.Exit(2)
 	}
 	sort.Strings(names)
