@@ -261,28 +261,22 @@ func TestCachedHostPlanChurn(t *testing.T) {
 }
 
 // TestFacadeUnsupportedLength: the facade rejects only non-positive
-// lengths, with the new broad sentinel; the real-input path still
-// requires a power of two and keeps matching the legacy sentinel
-// through the wrapping chain.
+// lengths with ErrUnsupportedLength; the real-input path accepts every
+// even n ≥ 4 and rejects odd or tiny lengths with the same sentinel.
 func TestFacadeUnsupportedLength(t *testing.T) {
 	for _, n := range []int{0, -3} {
 		if _, err := codeletfft.NewHostPlan(n); !errors.Is(err, codeletfft.ErrUnsupportedLength) {
 			t.Fatalf("NewHostPlan(%d) err = %v, want ErrUnsupportedLength", n, err)
 		}
 	}
-	_, err := codeletfft.NewRealPlan(100)
-	if !errors.Is(err, codeletfft.ErrNotPowerOfTwo) || !errors.Is(err, codeletfft.ErrUnsupportedLength) {
-		t.Fatalf("NewRealPlan(100) err = %v, want to match both sentinels", err)
+	for _, n := range []int{0, 2, 99} {
+		if _, err := codeletfft.NewRealPlan(n); !errors.Is(err, codeletfft.ErrUnsupportedLength) {
+			t.Fatalf("NewRealPlan(%d) err = %v, want ErrUnsupportedLength", n, err)
+		}
 	}
-	// A complex plan for a non-pow2 length exists, but its real-input
-	// view must fail the same way.
-	h, err := codeletfft.NewHostPlan(100)
-	if err != nil {
-		t.Fatalf("NewHostPlan(100): %v", err)
-	}
-	spec := make([]complex128, 51)
-	err = h.RealTransform(spec, make([]float64, 100))
-	if !errors.Is(err, codeletfft.ErrNotPowerOfTwo) || !errors.Is(err, codeletfft.ErrUnsupportedLength) {
-		t.Fatalf("RealTransform on n=100 err = %v, want to match both sentinels", err)
+	// Even non-power-of-two lengths are no longer rejected: they route
+	// through the mixed-radix (or Bluestein) half transform.
+	if r, err := codeletfft.NewRealPlan(100); err != nil || r.N() != 100 {
+		t.Fatalf("NewRealPlan(100) = %v, %v; want a plan", r, err)
 	}
 }

@@ -537,3 +537,98 @@ func BenchmarkOOC(b *testing.B) {
 }
 
 func byteSize(v int64) string { return fmt.Sprintf("%d", v) }
+
+// BenchmarkConvolve measures overlap-save convolution throughput at a
+// 2^18-sample signal across kernel sizes spanning the segmentation
+// regimes: a short FIR (many fresh samples per segment), a medium
+// kernel, and one long enough to force large segments. Informational in
+// CI (tracked as an artifact, not gated):
+//
+//	go test -bench BenchmarkConvolve -benchtime 3x
+func BenchmarkConvolve(b *testing.B) {
+	const n = 1 << 18
+	x := noise(n, 1)
+	for _, k := range []int{63, 1023, 16383} {
+		p, err := codeletfft.NewConvPlan(n, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := noise(k, 2)
+		dst := make([]complex128, p.OutLen())
+		b.Run(fmt.Sprintf("N=2^18/K=%d", k), func(b *testing.B) {
+			b.SetBytes(int64(n) * 16)
+			for i := 0; i < b.N; i++ {
+				if err := p.Convolve(dst, x, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// The streaming filter at a realistic chunk size, same signal.
+	p, err := codeletfft.NewConvPlan(n, 1023)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := p.FilterStream(noise(1023, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]complex128, 4096)
+	b.Run("N=2^18/K=1023/stream4096", func(b *testing.B) {
+		b.SetBytes(int64(n) * 16)
+		for i := 0; i < b.N; i++ {
+			f.Reset()
+			for off := 0; off < n; off += len(buf) {
+				if err := f.Process(buf, x[off:off+len(buf)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkSTFT measures spectrogram throughput over a 2^18-sample
+// signal: the batched Transform (all frames in one dispatch) and the
+// streaming one-frame-at-a-time path. Informational in CI:
+//
+//	go test -bench BenchmarkSTFT -benchtime 3x
+func BenchmarkSTFT(b *testing.B) {
+	const n = 1 << 18
+	const frame, hop = 1024, 256
+	sig := make([]float64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range sig {
+		sig[i] = rng.NormFloat64()
+	}
+	p, err := codeletfft.NewSTFTPlan(frame, hop, codeletfft.HannWindow(frame))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nf := p.NumFrames(n)
+	dst := make([][]complex128, nf)
+	for i := range dst {
+		dst[i] = make([]complex128, frame)
+	}
+	b.Run("frame=1024/hop=256/batch", func(b *testing.B) {
+		b.SetBytes(int64(n) * 8)
+		for i := 0; i < b.N; i++ {
+			if err := p.Transform(dst, sig); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("frame=1024/hop=256/stream", func(b *testing.B) {
+		s := p.Stream()
+		out := make([]complex128, frame)
+		b.SetBytes(int64(n) * 8)
+		for i := 0; i < b.N; i++ {
+			s.Reset()
+			for off := 0; off < n; off += hop {
+				s.Write(sig[off:min(off+hop, n)])
+				if _, err := s.Next(out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -8,11 +8,15 @@
 // (TransformBatch against a transform loop, the real-input path against
 // the complex reference); checks the distributed four-step path (a
 // 3-worker loopback cluster against the single-node parallel transform
-// across several factorizations); and checks the arbitrary-N planner —
+// across several factorizations); checks the arbitrary-N planner —
 // every radix family the mixed-radix/Bluestein router serves, from
 // primes to highly-composite lengths, against the reference DFT with
-// per-family worst relative error and ULP-of-peak. Any section failure
-// exits non-zero.
+// per-family worst relative error and ULP-of-peak; checks overlap-save
+// convolution and the streaming filter against the direct O(N·K)
+// reference; and checks the spectrogram path, including streaming a
+// spectrogram out of a live serving core while it drains (every frame
+// must arrive; new work must shed with 503). Any section failure exits
+// non-zero.
 //
 // Usage:
 //
@@ -82,6 +86,8 @@ func main() {
 	failures += checkBatchAndReal(*minLog, *maxLog, *seed, *workers)
 	failures += checkDist(*minLog, *maxLog, *seed)
 	failures += checkArbitraryN(*seed, *workers)
+	failures += checkConvolution(*seed, *workers)
+	failures += checkSpectrogram(*seed, *workers)
 
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "fftcheck: %d failures\n", failures)
@@ -317,8 +323,16 @@ func checkBatchAndReal(minLog, maxLog int, seed int64, workers int) int {
 			x[i] = rng.NormFloat64()
 			wide[i] = complex(x[i], 0)
 		}
-		spec := make([]complex128, n/2+1)
-		if err := h.ParallelRealTransform(spec, x); err != nil {
+		rp, err := codeletfft.CachedRealPlan(n,
+			codeletfft.WithWorkers(workers),
+			codeletfft.WithThreshold(1))
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "fftcheck: rfft N=2^%d: %v\n", lg, err)
+			continue
+		}
+		spec := make([]complex128, rp.SpectrumLen())
+		if err := rp.Transform(spec, x); err != nil {
 			failures++
 			fmt.Fprintf(os.Stderr, "fftcheck: rfft N=2^%d: %v\n", lg, err)
 			continue
@@ -332,7 +346,7 @@ func checkBatchAndReal(minLog, maxLog int, seed int64, workers int) int {
 			}
 		}
 		back := make([]float64, n)
-		if err := h.ParallelRealInverse(back, spec); err != nil {
+		if err := rp.Inverse(back, spec); err != nil {
 			failures++
 			fmt.Fprintf(os.Stderr, "fftcheck: rfft inverse N=2^%d: %v\n", lg, err)
 			continue

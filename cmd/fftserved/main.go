@@ -9,7 +9,10 @@
 //	go run ./cmd/fftserved -addr :8080 -window 2ms -max-batch 64
 //
 // Endpoints: POST /fft (JSON), POST /fft/bin (binary frames),
-// GET /metrics, GET /healthz, GET /debug/vars (expvar), and — with
+// POST /fft/stft (chunked NDJSON spectrogram stream — frames flow back
+// while later chunks are still transforming, and an in-flight stream
+// finishes through a drain instead of being severed), GET /metrics,
+// GET /healthz, GET /debug/vars (expvar), and — with
 // -pprof — the net/http/pprof handlers under /debug/pprof/. With -worker
 // the daemon additionally serves POST /fft/shard, the cluster
 // shard-execution endpoint a fftcluster coordinator dispatches

@@ -55,13 +55,15 @@
 //
 // Serving workloads lean on the same engine: TransformBatch pushes many
 // same-size transforms through one worker-pool dispatch with zero
-// steady-state allocation; RealPlan handles real-valued signals via a
-// packed N/2-point transform at about twice the complex path's speed;
+// steady-state allocation; RealPlan handles real-valued signals of any
+// even length via a packed N/2-point transform at about twice the
+// complex path's speed; ConvPlan and STFTPlan run overlap-save
+// convolution and streaming spectrograms on the batched engine;
 // CachedHostPlan and CachedRealPlan memoize plans in process-wide,
 // sharded, size-bounded caches keyed by (N, task size, kernel) so plans
 // can be resolved per request.
 //
-// Construction errors wrap the sentinels ErrNotPowerOfTwo and
+// Construction errors wrap the sentinels ErrUnsupportedLength and
 // ErrBadTaskSize; wrong-length slices panic with an error wrapping
 // ErrLengthMismatch (for batches, the error names the offending row's
 // index). Host plans always return a nil error from Plan methods —

@@ -1,7 +1,8 @@
-// FFT-based convolution: filter a chirp with a moving-average kernel via
-// the convolution theorem (multiply spectra, inverse transform) and
-// verify against direct time-domain convolution. Exercises forward and
-// inverse transforms of the staged plan on a realistic DSP pipeline.
+// FFT-based convolution through the public API: filter a chirp with a
+// moving-average kernel via ConvPlan's overlap-save linear convolution,
+// verify against direct O(N·K) time-domain convolution, then run the
+// same kernel as a streaming filter over arbitrary chunk sizes and
+// check the two paths agree sample for sample.
 package main
 
 import (
@@ -9,7 +10,7 @@ import (
 	"log"
 	"math/cmplx"
 
-	"codeletfft/internal/fft"
+	"codeletfft"
 	"codeletfft/internal/workload"
 )
 
@@ -19,49 +20,76 @@ func main() {
 
 	signal := workload.Chirp(n, 8, 400)
 
-	// Moving-average kernel, zero-padded to n (circular convolution).
-	kernel := make([]complex128, n)
-	for i := 0; i < kernelLen; i++ {
+	// Moving-average (boxcar) kernel: a crude low-pass filter.
+	kernel := make([]complex128, kernelLen)
+	for i := range kernel {
 		kernel[i] = complex(1.0/kernelLen, 0)
 	}
 
-	plan, err := fft.NewPlan(n, 64)
+	plan, err := codeletfft.NewConvPlan(n, kernelLen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	w := fft.Twiddles(n)
-
-	// Frequency domain: conv = IFFT(FFT(x) ∘ FFT(h)).
-	xs := append([]complex128(nil), signal...)
-	hs := append([]complex128(nil), kernel...)
-	plan.Transform(xs, w)
-	plan.Transform(hs, w)
-	for i := range xs {
-		xs[i] *= hs[i]
+	out := make([]complex128, plan.OutLen())
+	if err := plan.Convolve(out, signal, kernel); err != nil {
+		log.Fatal(err)
 	}
-	plan.InverseTransform(xs, w)
 
-	// Direct circular convolution for verification.
-	direct := make([]complex128, n)
-	for i := 0; i < n; i++ {
+	// Direct linear convolution for verification.
+	direct := make([]complex128, plan.OutLen())
+	for i := range direct {
 		var sum complex128
 		for k := 0; k < kernelLen; k++ {
-			sum += kernel[k] * signal[(i-k+n)%n]
+			if j := i - k; j >= 0 && j < n {
+				sum += kernel[k] * signal[j]
+			}
 		}
 		direct[i] = sum
 	}
+	var maxErr float64
+	for i := range out {
+		if d := cmplx.Abs(out[i] - direct[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 1e-9 {
+		log.Fatalf("convolution mismatch: max error %g", maxErr)
+	}
 
-	err2 := fft.MaxError(xs, direct)
-	if err2 > 1e-9 {
-		log.Fatalf("convolution mismatch: max error %g", err2)
+	// The same kernel as a streaming filter: feed the signal in uneven
+	// chunks and collect the filtered output incrementally.
+	stream, err := plan.FilterStream(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	streamed := make([]complex128, 0, n)
+	for off := 0; off < n; {
+		c := min(517, n-off) // deliberately not a divisor of anything
+		chunk := make([]complex128, c)
+		if err := stream.Process(chunk, signal[off:off+c]); err != nil {
+			log.Fatal(err)
+		}
+		streamed = append(streamed, chunk...)
+		off += c
+	}
+	var streamErr float64
+	for i := range streamed {
+		if d := cmplx.Abs(streamed[i] - out[i]); d > streamErr {
+			streamErr = d
+		}
+	}
+	if streamErr > 1e-9 {
+		log.Fatalf("stream/batch mismatch: max error %g", streamErr)
 	}
 
 	var inRMS, outRMS float64
 	for i := range signal {
 		inRMS += cmplx.Abs(signal[i]) * cmplx.Abs(signal[i])
-		outRMS += cmplx.Abs(xs[i]) * cmplx.Abs(xs[i])
+		outRMS += cmplx.Abs(out[i]) * cmplx.Abs(out[i])
 	}
 	fmt.Printf("filtered %d-sample chirp with a %d-tap moving average\n", n, kernelLen)
-	fmt.Printf("FFT convolution matches direct convolution (max error %.3g)\n", err2)
+	fmt.Printf("overlap-save (%d segments of %d) matches direct convolution (max error %.3g)\n",
+		plan.Segments(), plan.SegmentLen(), maxErr)
+	fmt.Printf("streaming filter matches batch convolution (max error %.3g)\n", streamErr)
 	fmt.Printf("energy in/out: %.1f / %.1f (high frequencies attenuated)\n", inRMS, outRMS)
 }

@@ -2,7 +2,6 @@ package codeletfft
 
 import (
 	"context"
-	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -18,18 +17,10 @@ import (
 // value wrapping ErrLengthMismatch.
 var (
 	// ErrUnsupportedLength reports a transform length no planner accepts:
-	// non-positive everywhere, non-power-of-two for the real-input and
-	// 2-D paths. Complex 1-D plans support every n ≥ 1, so NewHostPlan
-	// only returns it for n < 1. ErrNotPowerOfTwo wraps it, so
-	// errors.Is(err, ErrUnsupportedLength) also matches every
-	// power-of-two rejection.
+	// non-positive everywhere, odd or < 4 for the real-input path,
+	// non-power-of-two for the 2-D path. Complex 1-D plans support every
+	// n ≥ 1, so NewHostPlan only returns it for n < 1.
 	ErrUnsupportedLength = fft.ErrUnsupportedLength
-	// ErrNotPowerOfTwo reports a transform length that is not a power of
-	// two (or is below the algorithm's minimum).
-	//
-	// Deprecated: test with ErrUnsupportedLength, which ErrNotPowerOfTwo
-	// wraps. Kept so existing errors.Is checks keep passing.
-	ErrNotPowerOfTwo = fft.ErrNotPowerOfTwo
 	// ErrBadTaskSize reports a task size that is not a power of two ≥ 2
 	// or exceeds the transform length.
 	ErrBadTaskSize = fft.ErrBadTaskSize
@@ -190,10 +181,6 @@ type hostCore struct {
 	w     []complex128
 	mixed *fft.MixedPlan
 	blue  *fft.BluesteinPlan
-
-	realOnce sync.Once
-	real     *fft.RealPlan
-	realErr  error
 }
 
 // newHostCore routes a length to its planner: powers of two ≥ 2 keep
@@ -220,21 +207,6 @@ func newHostCore(n, taskSize int) (*hostCore, error) {
 		return nil, err
 	}
 	return &hostCore{n: n, blue: bp}, nil
-}
-
-// realPlan builds the N-point real-input plan on first use. It fails
-// for N < 4 and non-power-of-two N — the packing trick halves the
-// length, so the real path stays power-of-two-only.
-func (c *hostCore) realPlan() (*fft.RealPlan, error) {
-	c.realOnce.Do(func() {
-		if c.pl == nil {
-			c.realErr = fmt.Errorf("%w: real transforms need a power-of-two length, got %d",
-				fft.ErrNotPowerOfTwo, c.n)
-			return
-		}
-		c.real, c.realErr = fft.NewRealPlan(c.pl.N, c.pl.P)
-	})
-	return c.real, c.realErr
 }
 
 // planKey identifies a cached core: transform length, task size, the
@@ -273,9 +245,9 @@ func coreKey(n int, o hostOpts) planKey {
 // sizes, so eviction is rare in practice.
 var planCache = cache.New[planKey, *hostCore](8, 16, planKeyHash)
 
-// realCache memoizes real-input plans across CachedRealPlan calls,
+// realCache memoizes real-input cores across CachedRealPlan calls,
 // bounded the same way as planCache.
-var realCache = cache.New[planKey, *fft.RealPlan](8, 16, planKeyHash)
+var realCache = cache.New[planKey, realCore](8, 16, planKeyHash)
 
 // PlanCacheLen reports how many plan cores CachedHostPlan currently
 // retains — an observability hook for serving systems.
@@ -501,63 +473,12 @@ func (h *HostPlan) InverseBatch(batch [][]complex128) error {
 	return nil
 }
 
-// RealTransform computes the forward FFT of the real input x (length N)
-// into spec (length N/2+1, the non-redundant Hermitian half) via one
-// N/2-point complex transform. It errors for N < 4.
-//
-// Deprecated: use NewRealPlan or CachedRealPlan, which run the packed
-// transform on the parallel engine with kernel selection. This wrapper
-// keeps the pre-redesign serial behavior for one release.
-func (h *HostPlan) RealTransform(spec []complex128, x []float64) error {
-	rp, err := h.core.realPlan()
-	if err != nil {
-		return err
-	}
-	rp.Transform(spec, x)
-	return nil
-}
-
-// RealInverse recovers the real signal x (length N) from its Hermitian
-// half-spectrum spec (length N/2+1), inverting RealTransform.
-//
-// Deprecated: use NewRealPlan or CachedRealPlan. This wrapper keeps the
-// pre-redesign serial behavior for one release.
-func (h *HostPlan) RealInverse(x []float64, spec []complex128) error {
-	rp, err := h.core.realPlan()
-	if err != nil {
-		return err
-	}
-	rp.Inverse(x, spec)
-	return nil
-}
-
-// ParallelRealTransform is RealTransform on the parallel engine.
-//
-// Deprecated: use NewRealPlan or CachedRealPlan.
-func (h *HostPlan) ParallelRealTransform(spec []complex128, x []float64) error {
-	rp, err := h.core.realPlan()
-	if err != nil {
-		return err
-	}
-	h.eng.RealTransform(rp, spec, x)
-	return nil
-}
-
-// ParallelRealInverse is RealInverse on the parallel engine.
-//
-// Deprecated: use NewRealPlan or CachedRealPlan.
-func (h *HostPlan) ParallelRealInverse(x []float64, spec []complex128) error {
-	rp, err := h.core.realPlan()
-	if err != nil {
-		return err
-	}
-	h.eng.RealInverse(rp, x, spec)
-	return nil
-}
-
 // RealPlan transforms length-N real signals through the packed
-// N/2-point complex path on a parallel engine — the typed replacement
-// for HostPlan.RealTransform's loose spec argument. It is built with
+// N/2-point complex path on a parallel engine. Any even n ≥ 4 is
+// accepted: powers of two run the fused staged path (bitwise identical
+// to prior releases), other even lengths pack into an N/2-point
+// mixed-radix or Bluestein half plan with the same O(N) split pass —
+// the real surface is no longer power-of-two-only. It is built with
 // the same HostOption set as HostPlan (task size, workers, threshold,
 // observer, kernel) and resolves its kernel the same way: autotuned on
 // first use under KernelAuto, pinned otherwise.
@@ -565,43 +486,131 @@ func (h *HostPlan) ParallelRealInverse(x []float64, spec []complex128) error {
 // A RealPlan is immutable after construction and safe for concurrent
 // use on distinct buffers.
 type RealPlan struct {
-	rp   *fft.RealPlan
+	rp   *fft.RealPlan  // staged power-of-two path; nil on the general path
+	gen  *fft.RealSplit // general even-N split pass; nil on the staged path
+	half *HostPlan      // general path's N/2-point plan
 	eng  *host.Engine
 	opts hostOpts
 	kern atomic.Int32
+	pool sync.Pool // *realScratch, general path only
 }
 
-// NewRealPlan builds a real-input plan for n-point transforms (n a
-// power of two ≥ 4).
-func NewRealPlan(n int, opts ...HostOption) (*RealPlan, error) {
-	o := resolveOpts(n, opts)
-	rp, err := fft.NewRealPlan(n, o.taskSize)
+// realScratch is the general real path's per-call state: the inverse
+// pass's N/2 work buffer and a reusable batch-of-1 header, so the
+// steady-state Transform/Inverse cycle performs no allocation.
+type realScratch struct {
+	work  []complex128
+	batch [][]complex128
+}
+
+// realCore is what realCache memoizes: exactly one of the staged plan
+// and the general split is non-nil, mirroring the facade RealPlan.
+type realCore struct {
+	rp  *fft.RealPlan
+	gen *fft.RealSplit
+}
+
+func (c realCore) n() int {
+	if c.rp != nil {
+		return c.rp.N
+	}
+	return c.gen.N
+}
+
+// newRealCore routes a real-input length: powers of two ≥ 4 build the
+// fused staged plan, other even lengths ≥ 4 build the split-pass
+// tables (their half transform is a HostPlan). Odd or < 4 fails with
+// ErrUnsupportedLength.
+func newRealCore(n, taskSize int) (realCore, error) {
+	if n >= 4 && n&(n-1) == 0 {
+		rp, err := fft.NewRealPlan(n, taskSize)
+		if err != nil {
+			return realCore{}, err
+		}
+		return realCore{rp: rp}, nil
+	}
+	gen, err := fft.NewRealSplit(n)
+	if err != nil {
+		return realCore{}, err
+	}
+	return realCore{gen: gen}, nil
+}
+
+// newRealPlan assembles the facade plan around a routed core; the
+// general path builds (or cache-shares) its N/2-point half plan here.
+func newRealPlan(core realCore, o hostOpts, opts []HostOption, cached bool) (*RealPlan, error) {
+	r := &RealPlan{rp: core.rp, gen: core.gen, opts: o}
+	if core.rp != nil {
+		r.eng = o.engine()
+		return r, nil
+	}
+	h := core.gen.N / 2
+	var half *HostPlan
+	var err error
+	if cached {
+		half, err = CachedHostPlan(h, opts...)
+	} else {
+		half, err = NewHostPlan(h, opts...)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &RealPlan{rp: rp, eng: o.engine(), opts: o}, nil
+	r.half = half
+	r.eng = half.eng
+	r.pool.New = func() any {
+		return &realScratch{work: make([]complex128, h), batch: make([][]complex128, 1)}
+	}
+	return r, nil
+}
+
+// NewRealPlan builds a real-input plan for n-point transforms, any even
+// n ≥ 4.
+func NewRealPlan(n int, opts ...HostOption) (*RealPlan, error) {
+	o := resolveOpts(n, opts)
+	core, err := newRealCore(n, o.taskSize)
+	if err != nil {
+		return nil, err
+	}
+	return newRealPlan(core, o, opts, false)
 }
 
 // CachedRealPlan is NewRealPlan backed by a process-wide cache keyed by
 // (n, task size, kernel), sharing the packed plan and twiddle tables
-// across calls the way CachedHostPlan shares cores.
+// across calls the way CachedHostPlan shares cores. The general even-N
+// path additionally shares its N/2-point half core through the plan
+// cache.
 func CachedRealPlan(n int, opts ...HostOption) (*RealPlan, error) {
 	o := resolveOpts(n, opts)
-	rp, err := realCache.GetOrCreate(planKey{n: n, p: o.taskSize, kern: o.kern}, func() (*fft.RealPlan, error) {
-		return fft.NewRealPlan(n, o.taskSize)
+	core, err := realCache.GetOrCreate(coreKey(n, o), func() (realCore, error) {
+		return newRealCore(n, o.taskSize)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &RealPlan{rp: rp, eng: o.engine(), opts: o}, nil
+	return newRealPlan(core, o, opts, true)
 }
 
 // N returns the real-input length.
-func (r *RealPlan) N() int { return r.rp.N }
+func (r *RealPlan) N() int {
+	if r.rp != nil {
+		return r.rp.N
+	}
+	return r.gen.N
+}
 
 // SpectrumLen returns N/2+1, the half-spectrum buffer length Transform
 // fills and Inverse consumes.
-func (r *RealPlan) SpectrumLen() int { return r.rp.SpectrumLen() }
+func (r *RealPlan) SpectrumLen() int { return r.N()/2 + 1 }
+
+// Algorithm names the path the length routed to: "real+staged" for
+// powers of two, otherwise "real+" followed by the half plan's
+// algorithm (mixed-radix schedule or Bluestein embedding).
+func (r *RealPlan) Algorithm() string {
+	if r.rp != nil {
+		return "real+staged"
+	}
+	return "real+" + r.half.Algorithm()
+}
 
 // Workers returns the worker count the parallel engine resolved.
 func (r *RealPlan) Workers() int { return r.eng.Workers() }
@@ -613,6 +622,9 @@ func (r *RealPlan) Workers() int { return r.eng.Workers() }
 func (r *RealPlan) Kernel() Kernel { return r.kernel() }
 
 func (r *RealPlan) kernel() fft.Kernel {
+	if r.rp == nil {
+		return r.half.kernel()
+	}
 	if k := r.kern.Load(); k != 0 {
 		return fft.Kernel(k)
 	}
@@ -626,14 +638,41 @@ func (r *RealPlan) kernel() fft.Kernel {
 // buffers panic with an error wrapping ErrLengthMismatch. The error is
 // always nil — it mirrors the Plan interface convention.
 func (r *RealPlan) Transform(spec []complex128, x []float64) error {
-	r.eng.RealTransformKernel(r.rp, spec, x, r.kernel())
+	if r.rp != nil {
+		r.eng.RealTransformKernel(r.rp, spec, x, r.kernel())
+		return nil
+	}
+	r.gen.Pack(spec, x)
+	sc := r.pool.Get().(*realScratch)
+	sc.batch[0] = spec[:r.gen.N/2]
+	err := r.half.TransformBatch(sc.batch)
+	sc.batch[0] = nil
+	r.pool.Put(sc)
+	if err != nil {
+		return err
+	}
+	r.gen.Unpack(spec)
 	return nil
 }
 
 // Inverse recovers the length-N real signal x from its half-spectrum
 // spec, inverting Transform. spec is not modified.
 func (r *RealPlan) Inverse(x []float64, spec []complex128) error {
-	r.eng.RealInverseKernel(r.rp, x, spec, r.kernel())
+	if r.rp != nil {
+		r.eng.RealInverseKernel(r.rp, x, spec, r.kernel())
+		return nil
+	}
+	sc := r.pool.Get().(*realScratch)
+	defer func() {
+		sc.batch[0] = nil
+		r.pool.Put(sc)
+	}()
+	r.gen.PreInverse(sc.work, spec)
+	sc.batch[0] = sc.work
+	if err := r.half.InverseBatch(sc.batch); err != nil {
+		return err
+	}
+	r.gen.PostInverse(x, sc.work)
 	return nil
 }
 

@@ -444,61 +444,51 @@ func TestHostPlanBatchMatchesLoop(t *testing.T) {
 	}
 }
 
-func TestHostPlanRealRoundTrip(t *testing.T) {
-	const n = 1 << 10
-	h, err := codeletfft.NewHostPlan(n)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(11))
-	x := make([]float64, n)
-	wide := make([]complex128, n)
-	for i := range x {
-		x[i] = rng.NormFloat64()
-		wide[i] = complex(x[i], 0)
-	}
-	spec := make([]complex128, n/2+1)
-	if err := h.RealTransform(spec, x); err != nil {
-		t.Fatal(err)
-	}
-	full := codeletfft.FFT(wide)
-	for k := range spec {
-		d := spec[k] - full[k]
-		if real(d)*real(d)+imag(d)*imag(d) > 1e-18*float64(n) {
-			t.Fatalf("RealTransform bin %d = %v, want %v", k, spec[k], full[k])
+// TestRealPlanEvenLengths: the general even-N real path (mixed-radix or
+// Bluestein half transform) matches the full complex transform and
+// round-trips, across composite and 2·prime lengths.
+func TestRealPlanEvenLengths(t *testing.T) {
+	for _, n := range []int{6, 10, 12, 100, 360, 1000, 2310, 1 << 10} {
+		r, err := codeletfft.NewRealPlan(n)
+		if err != nil {
+			t.Fatalf("NewRealPlan(%d): %v", n, err)
 		}
-	}
-	pspec := make([]complex128, n/2+1)
-	if err := h.ParallelRealTransform(pspec, x); err != nil {
-		t.Fatal(err)
-	}
-	if !sameBits(pspec, spec) {
-		t.Fatal("ParallelRealTransform diverged from RealTransform")
-	}
-	back := make([]float64, n)
-	if err := h.RealInverse(back, spec); err != nil {
-		t.Fatal(err)
-	}
-	for i := range back {
-		if math.Abs(back[i]-x[i]) > 1e-12 {
-			t.Fatalf("real round trip diverged at %d: %g vs %g", i, back[i], x[i])
+		if r.N() != n || r.SpectrumLen() != n/2+1 {
+			t.Fatalf("n=%d: N, SpectrumLen = %d, %d", n, r.N(), r.SpectrumLen())
 		}
-	}
-	pback := make([]float64, n)
-	if err := h.ParallelRealInverse(pback, spec); err != nil {
-		t.Fatal(err)
-	}
-	for i := range pback {
-		if math.Abs(pback[i]-x[i]) > 1e-12 {
-			t.Fatalf("parallel real round trip diverged at %d", i)
+		rng := rand.New(rand.NewSource(11))
+		x := make([]float64, n)
+		wide := make([]complex128, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			wide[i] = complex(x[i], 0)
+		}
+		full := codeletfft.DFT(wide)
+		spec := make([]complex128, r.SpectrumLen())
+		if err := r.Transform(spec, x); err != nil {
+			t.Fatal(err)
+		}
+		for k := range spec {
+			d := spec[k] - full[k]
+			if math.Hypot(real(d), imag(d)) > 1e-8 {
+				t.Fatalf("n=%d (%s): bin %d = %v, want %v", n, r.Algorithm(), k, spec[k], full[k])
+			}
+		}
+		back := make([]float64, n)
+		if err := r.Inverse(back, spec); err != nil {
+			t.Fatal(err)
+		}
+		for i := range back {
+			if math.Abs(back[i]-x[i]) > 1e-10 {
+				t.Fatalf("n=%d: real round trip diverged at %d: %g vs %g", n, i, back[i], x[i])
+			}
 		}
 	}
 }
 
-// TestRealPlanFacade covers the typed RealPlan replacement for the
-// deprecated HostPlan.RealTransform path: construction via the shared
-// option set, kernel pinning, caching, context variants, and agreement
-// with the full complex transform.
+// TestRealPlanFacade covers the typed RealPlan surface: construction
+// via the shared option set, kernel pinning, caching, context variants,
+// and agreement with the full complex transform.
 func TestRealPlanFacade(t *testing.T) {
 	const n = 1 << 10
 	rng := rand.New(rand.NewSource(29))
@@ -568,18 +558,10 @@ func TestRealPlanFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := codeletfft.NewRealPlan(2); !errors.Is(err, codeletfft.ErrNotPowerOfTwo) {
-		t.Fatalf("NewRealPlan(2) err = %v, want ErrNotPowerOfTwo", err)
-	}
-}
-
-func TestHostPlanRealRejectsTinyPlans(t *testing.T) {
-	h, err := codeletfft.NewHostPlan(2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := h.RealTransform(make([]complex128, 2), make([]float64, 2)); !errors.Is(err, codeletfft.ErrNotPowerOfTwo) {
-		t.Fatalf("RealTransform on N=2 err = %v, want ErrNotPowerOfTwo", err)
+	for _, n := range []int{2, 3, 101} {
+		if _, err := codeletfft.NewRealPlan(n); !errors.Is(err, codeletfft.ErrUnsupportedLength) {
+			t.Fatalf("NewRealPlan(%d) err = %v, want ErrUnsupportedLength", n, err)
+		}
 	}
 }
 

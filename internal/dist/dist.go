@@ -46,7 +46,7 @@ import (
 	"codeletfft/internal/serve"
 )
 
-// Defaults applied by NewCoordinator for zero Config fields.
+// Defaults applied by New for zero Config fields.
 const (
 	DefaultShardVecs    = 32
 	DefaultMaxAttempts  = 3
@@ -117,7 +117,7 @@ type Config struct {
 	CircuitOpenBase  time.Duration
 	CircuitOpenMax   time.Duration
 
-	// Registry collects the coordinator's instruments; NewCoordinator
+	// Registry collects the coordinator's instruments; the constructor
 	// creates one when nil.
 	Registry *metrics.Registry
 }
@@ -184,8 +184,7 @@ type Coordinator struct {
 }
 
 // newCoordinator builds a coordinator and starts its membership loops.
-// The public constructors are New (functional options) and the
-// deprecated NewCoordinator wrapper (options.go).
+// The public constructor is New (functional options, options.go).
 func newCoordinator(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Transport == nil && (len(cfg.Workers) > 0 || cfg.MemberFile != "") {
@@ -231,7 +230,7 @@ func (c *Coordinator) Members() *Membership { return c.members }
 // checkN validates a cluster transform length.
 func checkN(n int) error {
 	if fft.Log2(n) < 2 {
-		return fmt.Errorf("%w: cluster transforms need N a power of two ≥ 4, got %d", fft.ErrNotPowerOfTwo, n)
+		return fmt.Errorf("%w: cluster transforms need N a power of two ≥ 4, got %d", fft.ErrUnsupportedLength, n)
 	}
 	if n > MaxClusterN {
 		return fmt.Errorf("dist: N=%d exceeds the %d-element shard frame limit", n, MaxClusterN)

@@ -37,9 +37,9 @@ func newTestCluster(t *testing.T, nWorkers int, cfg Config) (*Coordinator, *Loop
 	cfg.Transport = lb
 	cfg.Workers = addrs
 	cfg.DisableResidentSessions = true
-	c, err := NewCoordinator(cfg)
+	c, err := newCoordinator(cfg)
 	if err != nil {
-		t.Fatalf("NewCoordinator: %v", err)
+		t.Fatalf("newCoordinator: %v", err)
 	}
 	t.Cleanup(c.Close)
 	return c, lb, addrs
@@ -312,9 +312,9 @@ func TestClusterHedgingWins(t *testing.T) {
 // locally — in both cases the client sees success and correct output.
 func TestClusterDegradesToLocal(t *testing.T) {
 	t.Run("no workers", func(t *testing.T) {
-		c, err := NewCoordinator(Config{})
+		c, err := New()
 		if err != nil {
-			t.Fatalf("NewCoordinator: %v", err)
+			t.Fatalf("New: %v", err)
 		}
 		defer c.Close()
 		const n = 1 << 12
@@ -568,9 +568,9 @@ func TestNearSquareFactor(t *testing.T) {
 func TestLocalKernelConfig(t *testing.T) {
 	const n = 1 << 12
 	for _, k := range fft.ConcreteKernels() {
-		c, err := NewCoordinator(Config{LocalKernel: k})
+		c, err := New(WithLocalKernel(k))
 		if err != nil {
-			t.Fatalf("NewCoordinator: %v", err)
+			t.Fatalf("New: %v", err)
 		}
 		data := noise(n, 7)
 		want := singleNode(t, data)

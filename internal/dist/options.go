@@ -27,15 +27,6 @@ func New(opts ...Option) (*Coordinator, error) {
 	return newCoordinator(cfg)
 }
 
-// NewCoordinator builds a coordinator from a Config literal.
-//
-// Deprecated: use New with functional options (WithTransport,
-// WithWorkers, …). This wrapper remains for one release so existing
-// construction sites keep compiling.
-func NewCoordinator(cfg Config) (*Coordinator, error) {
-	return newCoordinator(cfg)
-}
-
 // WithTransport sets the RPC transport carrying shard frames to
 // workers (required whenever workers are configured). A transport that
 // also implements SessionTransport enables the communication-avoiding

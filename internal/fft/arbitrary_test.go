@@ -359,29 +359,17 @@ func TestBluesteinLargePrime(t *testing.T) {
 	}
 }
 
-// TestErrUnsupportedLengthHierarchy is the sentinel regression test:
-// ErrNotPowerOfTwo wraps ErrUnsupportedLength (so legacy errors.Is
-// checks keep matching pow2-only failures), but the broader sentinel
-// does NOT match the narrower one in reverse.
-func TestErrUnsupportedLengthHierarchy(t *testing.T) {
-	if !errors.Is(fft.ErrNotPowerOfTwo, fft.ErrUnsupportedLength) {
-		t.Fatal("ErrNotPowerOfTwo must wrap ErrUnsupportedLength")
+// TestErrUnsupportedLengthSentinel: every planner's length rejection
+// wraps the single ErrUnsupportedLength root sentinel. (The deprecated
+// ErrNotPowerOfTwo alias and its compatibility shim were removed with
+// the API purge.)
+func TestErrUnsupportedLengthSentinel(t *testing.T) {
+	// A staged-plan shape error.
+	if _, err := fft.NewPlan(100, 4); !errors.Is(err, fft.ErrUnsupportedLength) {
+		t.Fatalf("NewPlan(100, 4) err = %v, want ErrUnsupportedLength", err)
 	}
-	if errors.Is(fft.ErrUnsupportedLength, fft.ErrNotPowerOfTwo) {
-		t.Fatal("ErrUnsupportedLength must not match ErrNotPowerOfTwo")
-	}
-	// A staged-plan shape error matches both sentinels.
-	_, err := fft.NewPlan(100, 4)
-	if !errors.Is(err, fft.ErrNotPowerOfTwo) || !errors.Is(err, fft.ErrUnsupportedLength) {
-		t.Fatalf("NewPlan(100, 4) err = %v, want to match both sentinels", err)
-	}
-	// A mixed-radix cofactor error matches only the broad sentinel:
-	// 143 = 11·13 is not a power-of-two problem.
-	_, err = fft.NewMixedPlan(143)
-	if !errors.Is(err, fft.ErrUnsupportedLength) {
+	// A mixed-radix cofactor error: 143 = 11·13.
+	if _, err := fft.NewMixedPlan(143); !errors.Is(err, fft.ErrUnsupportedLength) {
 		t.Fatalf("NewMixedPlan(143) err = %v, want ErrUnsupportedLength", err)
-	}
-	if errors.Is(err, fft.ErrNotPowerOfTwo) {
-		t.Fatalf("NewMixedPlan(143) err = %v must not match ErrNotPowerOfTwo", err)
 	}
 }

@@ -12,21 +12,11 @@ import (
 var (
 	// ErrUnsupportedLength reports a transform length no planner in this
 	// package accepts: a non-positive N everywhere, a non-power-of-two N
-	// for the staged/real/2-D plans, or (for NewMixedPlan) an N with a
-	// prime factor outside {2, 3, 5, 7}. It is the root sentinel of the
-	// length-gate hierarchy — ErrNotPowerOfTwo wraps it, so code checking
-	// the old sentinel and code checking the new one both keep working.
+	// for the staged/2-D plans, an odd or < 4 N for the real-input
+	// plans, or (for NewMixedPlan) an N with a prime factor outside
+	// {2, 3, 5, 7}. It is the single root sentinel of the length-gate
+	// hierarchy; every length rejection wraps it.
 	ErrUnsupportedLength = errors.New("fft: unsupported transform length")
-	// ErrNotPowerOfTwo reports a transform length (or 2-D dimension)
-	// that is not a power of two, the gate of the staged, real-input,
-	// and 2-D planners.
-	//
-	// Deprecated: test with ErrUnsupportedLength. ErrNotPowerOfTwo wraps
-	// it, so errors.Is(err, ErrUnsupportedLength) matches every error
-	// that matches ErrNotPowerOfTwo (the reverse is not true: a
-	// mixed-radix rejection is an unsupported length but not a
-	// power-of-two complaint).
-	ErrNotPowerOfTwo = fmt.Errorf("%w: length is not a power of two", ErrUnsupportedLength)
 	// ErrBadTaskSize reports a task size P that is not a power of two
 	// ≥ 2 or that exceeds the transform length.
 	ErrBadTaskSize = errors.New("fft: invalid task size")

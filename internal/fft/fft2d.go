@@ -22,11 +22,11 @@ type Plan2D struct {
 }
 
 // NewPlan2D validates the shape and builds per-dimension plans. Task size
-// is clamped to each dimension. The returned errors wrap ErrNotPowerOfTwo
-// or ErrBadTaskSize.
+// is clamped to each dimension. The returned errors wrap
+// ErrUnsupportedLength or ErrBadTaskSize.
 func NewPlan2D(rows, cols, taskSize int) (*Plan2D, error) {
 	if Log2(rows) < 1 || Log2(cols) < 1 {
-		return nil, fmt.Errorf("%w: 2-D shape %dx%d must be powers of two ≥ 2", ErrNotPowerOfTwo, rows, cols)
+		return nil, fmt.Errorf("%w: 2-D shape %dx%d must be powers of two ≥ 2", ErrUnsupportedLength, rows, cols)
 	}
 	rp, err := NewPlan(cols, min(taskSize, cols))
 	if err != nil {

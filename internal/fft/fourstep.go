@@ -41,14 +41,14 @@ type FourStepPlan struct {
 }
 
 // NewFourStep builds the factorization for N = n1·n2. Both factors must
-// be powers of two ≥ 2 (errors wrap ErrNotPowerOfTwo); the sub-plans
-// use task size min(64, factor), the engine default.
+// be powers of two ≥ 2 (errors wrap ErrUnsupportedLength); the
+// sub-plans use task size min(64, factor), the engine default.
 func NewFourStep(n1, n2 int) (*FourStepPlan, error) {
 	if Log2(n1) < 1 {
-		return nil, fmt.Errorf("%w: N1=%d must be a power of two ≥ 2", ErrNotPowerOfTwo, n1)
+		return nil, fmt.Errorf("%w: N1=%d must be a power of two ≥ 2", ErrUnsupportedLength, n1)
 	}
 	if Log2(n2) < 1 {
-		return nil, fmt.Errorf("%w: N2=%d must be a power of two ≥ 2", ErrNotPowerOfTwo, n2)
+		return nil, fmt.Errorf("%w: N2=%d must be a power of two ≥ 2", ErrUnsupportedLength, n2)
 	}
 	col, err := NewPlan(n1, min(64, n1))
 	if err != nil {

@@ -134,8 +134,8 @@ func TestFourStepImpulse(t *testing.T) {
 
 func TestFourStepRejectsBadFactors(t *testing.T) {
 	for _, f := range [][2]int{{3, 8}, {8, 3}, {1, 16}, {16, 1}, {0, 0}, {-4, 4}} {
-		if _, err := fft.NewFourStep(f[0], f[1]); !errors.Is(err, fft.ErrNotPowerOfTwo) {
-			t.Errorf("NewFourStep(%d, %d) err = %v, want ErrNotPowerOfTwo", f[0], f[1], err)
+		if _, err := fft.NewFourStep(f[0], f[1]); !errors.Is(err, fft.ErrUnsupportedLength) {
+			t.Errorf("NewFourStep(%d, %d) err = %v, want ErrUnsupportedLength", f[0], f[1], err)
 		}
 	}
 }

@@ -33,11 +33,11 @@ type Plan struct {
 }
 
 // NewPlan validates n and p and returns the stage decomposition. The
-// returned errors wrap ErrNotPowerOfTwo or ErrBadTaskSize.
+// returned errors wrap ErrUnsupportedLength or ErrBadTaskSize.
 func NewPlan(n, p int) (*Plan, error) {
 	logN, logP := Log2(n), Log2(p)
 	if logN < 0 {
-		return nil, fmt.Errorf("%w: N=%d", ErrNotPowerOfTwo, n)
+		return nil, fmt.Errorf("%w: N=%d must be a power of two", ErrUnsupportedLength, n)
 	}
 	if logP < 1 {
 		return nil, fmt.Errorf("%w: P=%d must be a power of two ≥ 2", ErrBadTaskSize, p)

@@ -2,60 +2,83 @@ package fft
 
 import "fmt"
 
-// RealPlan computes the FFT of a length-N real signal with one N/2-point
-// complex FFT — the classic packing trick: adjacent real samples become
-// the real and imaginary parts of an N/2-point complex sequence, the half
-// transform runs through the ordinary staged Plan, and an O(N) split pass
-// untangles the even- and odd-sample spectra into the real signal's
-// half-spectrum. Real input is the dominant serving workload (audio,
-// sensor streams, telemetry), and the packing roughly halves both the
-// arithmetic and the memory traffic of the complex path.
+// RealSplit is the O(N) half of the real-input packing trick for any
+// even N ≥ 4: adjacent real samples become the real and imaginary parts
+// of an N/2-point complex sequence, and the split pass untangles the
+// half transform's output into the real signal's half-spectrum (or
+// re-tangles it for the inverse). The pass is pure index arithmetic on
+// the twiddle table — it does not care how the N/2-point transform is
+// computed, so the same split serves the staged power-of-two RealPlan
+// and the facade's mixed-radix/Bluestein even-N real path.
 //
 // The spectrum of a real signal is Hermitian (X[N−k] = conj(X[k])), so
-// only the N/2+1 bins X[0..N/2] are produced; X[0] and X[N/2] are purely
-// real by construction.
+// only the N/2+1 bins X[0..N/2] are produced; X[0] and X[N/2] are
+// purely real by construction.
+type RealSplit struct {
+	// N is the real-input length (even, ≥ 4).
+	N int
+	// WReal holds the split-pass factors W[k] = exp(−2πik/N) for k in
+	// [0, N/2).
+	WReal []complex128
+}
+
+// NewRealSplit builds the split-pass tables for any even n ≥ 4; errors
+// wrap ErrUnsupportedLength otherwise. The half transform itself is the
+// caller's to provide (an n/2-point plan of whatever family n/2 routes
+// to).
+func NewRealSplit(n int) (*RealSplit, error) {
+	if n < 4 || n%2 != 0 {
+		return nil, fmt.Errorf("%w: real transform length N=%d must be even and ≥ 4", ErrUnsupportedLength, n)
+	}
+	return &RealSplit{N: n, WReal: TwiddlesAny(n)[:n/2]}, nil
+}
+
+// RealPlan computes the FFT of a length-N real signal with one N/2-point
+// complex FFT: the RealSplit packing plus a staged power-of-two half
+// plan. Real input is the dominant serving workload (audio, sensor
+// streams, telemetry), and the packing roughly halves both the
+// arithmetic and the memory traffic of the complex path.
 //
 // A RealPlan is immutable after NewRealPlan and safe for any number of
 // concurrent users (each call needs its own buffers).
 type RealPlan struct {
-	// N is the real-input length (power of two ≥ 4).
-	N int
+	RealSplit
 	// Half is the N/2-point complex plan the packed sequence runs through.
 	Half *Plan
 	// WHalf is Twiddles(N/2), the half transform's table.
 	WHalf []complex128
-	// WReal is Twiddles(N): WReal[k] = exp(−2πik/N) for k in [0, N/2),
-	// the split-pass factors.
-	WReal []complex128
 }
 
 // NewRealPlan builds a real-input plan for n-point transforms whose half
 // transform uses taskSize-point kernels (clamped to n/2). n must be a
-// power of two ≥ 4 so the half transform is a valid plan; errors wrap
-// ErrNotPowerOfTwo or ErrBadTaskSize.
+// power of two ≥ 4 so the half transform is a valid staged plan; errors
+// wrap ErrUnsupportedLength or ErrBadTaskSize. Even non-power-of-two
+// lengths combine NewRealSplit with a mixed-radix or Bluestein half plan
+// instead (the facade's RealPlan does exactly that).
 func NewRealPlan(n, taskSize int) (*RealPlan, error) {
-	if Log2(n) < 0 {
-		return nil, fmt.Errorf("%w: N=%d", ErrNotPowerOfTwo, n)
-	}
-	if n < 4 {
-		return nil, fmt.Errorf("%w: real transform length N=%d must be ≥ 4", ErrNotPowerOfTwo, n)
+	if Log2(n) < 0 || n < 4 {
+		return nil, fmt.Errorf("%w: staged real plan length N=%d must be a power of two ≥ 4", ErrUnsupportedLength, n)
 	}
 	h := n / 2
 	half, err := NewPlan(h, min(taskSize, h))
 	if err != nil {
 		return nil, err
 	}
-	return &RealPlan{N: n, Half: half, WHalf: Twiddles(h), WReal: Twiddles(n)}, nil
+	return &RealPlan{
+		RealSplit: RealSplit{N: n, WReal: Twiddles(n)},
+		Half:      half,
+		WHalf:     Twiddles(h),
+	}, nil
 }
 
 // SpectrumLen returns N/2 + 1, the length of the half-spectrum buffer
 // Transform fills and Inverse consumes.
-func (rp *RealPlan) SpectrumLen() int { return rp.N/2 + 1 }
+func (rp *RealSplit) SpectrumLen() int { return rp.N/2 + 1 }
 
 // Pack interleaves the real signal src (length N) into dst[:N/2] as
 // dst[j] = src[2j] + i·src[2j+1], leaving dst[N/2] untouched. dst must
 // have SpectrumLen elements.
-func (rp *RealPlan) Pack(dst []complex128, src []float64) {
+func (rp *RealSplit) Pack(dst []complex128, src []float64) {
 	rp.checkSpectrum(dst)
 	if len(src) != rp.N {
 		panic(LengthError("real input", len(src), rp.N))
@@ -74,8 +97,8 @@ func (rp *RealPlan) Pack(dst []complex128, src []float64) {
 //	X[k] = E[k] + W[k]·O[k],  W[k] = exp(−2πik/N), h = N/2,
 //
 // and the pair (k, h−k) is resolved simultaneously so the pass runs in
-// place.
-func (rp *RealPlan) Unpack(dst []complex128) {
+// place (for odd h the middle pair k = h−k resolves to itself).
+func (rp *RealSplit) Unpack(dst []complex128) {
 	rp.checkSpectrum(dst)
 	h := rp.N / 2
 	z0 := dst[0]
@@ -113,7 +136,7 @@ func (rp *RealPlan) TransformWith(dst []complex128, src []float64, sc *Scratch) 
 //	E[k] = (X[k] + conj(X[h−k]))/2
 //	O[k] = (X[k] − conj(X[h−k]))/2 · conj(W[k])
 //	Z[k] = E[k] + i·O[k].
-func (rp *RealPlan) PreInverse(work, src []complex128) {
+func (rp *RealSplit) PreInverse(work, src []complex128) {
 	h := rp.N / 2
 	if len(work) != h {
 		panic(LengthError("work buffer", len(work), h))
@@ -129,7 +152,7 @@ func (rp *RealPlan) PreInverse(work, src []complex128) {
 
 // PostInverse de-interleaves the inverse half transform work (length
 // N/2) into the real signal dst (length N).
-func (rp *RealPlan) PostInverse(dst []float64, work []complex128) {
+func (rp *RealSplit) PostInverse(dst []float64, work []complex128) {
 	if len(dst) != rp.N {
 		panic(LengthError("real output", len(dst), rp.N))
 	}
@@ -157,7 +180,7 @@ func (rp *RealPlan) InverseWith(dst []float64, src, work []complex128, sc *Scrat
 	rp.PostInverse(dst, work)
 }
 
-func (rp *RealPlan) checkSpectrum(s []complex128) {
+func (rp *RealSplit) checkSpectrum(s []complex128) {
 	if len(s) != rp.N/2+1 {
 		panic(LengthError("half-spectrum", len(s), rp.N/2+1))
 	}

@@ -122,8 +122,8 @@ func TestRealPlanLinearity(t *testing.T) {
 }
 
 func TestNewRealPlanRejectsBadShapes(t *testing.T) {
-	if _, err := fft.NewRealPlan(100, 4); !errors.Is(err, fft.ErrNotPowerOfTwo) {
-		t.Fatalf("N=100: err = %v, want ErrNotPowerOfTwo", err)
+	if _, err := fft.NewRealPlan(100, 4); !errors.Is(err, fft.ErrUnsupportedLength) {
+		t.Fatalf("N=100: err = %v, want ErrUnsupportedLength", err)
 	}
 	if _, err := fft.NewRealPlan(2, 2); err == nil {
 		t.Fatal("N=2 accepted; the half transform cannot exist")

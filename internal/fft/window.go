@@ -1,0 +1,19 @@
+package fft
+
+import "math"
+
+// Hann returns the length-n periodic Hann window
+// w[i] = 0.5·(1 − cos(2πi/n)). The periodic form (denominator n, not
+// n−1) is the spectrogram convention: shifted copies at hop n/2 sum to
+// exactly 1 — the constant-overlap-add property STFT reconstruction
+// relies on. n must be ≥ 1.
+func Hann(n int) []float64 {
+	if n < 1 {
+		panic("fft: window length must be ≥ 1")
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n)))
+	}
+	return w
+}

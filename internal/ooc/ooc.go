@@ -175,7 +175,7 @@ type Plan struct {
 
 // NewPlan builds an out-of-core plan for n-point transforms. n must be
 // a power of two ≥ 4 (both four-step factors ≥ 2); errors wrap
-// fft.ErrNotPowerOfTwo for other lengths.
+// fft.ErrUnsupportedLength for other lengths.
 func NewPlan(n int, opts ...Option) (*Plan, error) {
 	cfg := config{
 		budget:    DefaultMemoryBudget,
@@ -210,11 +210,11 @@ func NewPlan(n int, opts ...Option) (*Plan, error) {
 		cfg.reg = metrics.NewRegistry()
 	}
 	if fft.Log2(n) < 2 {
-		return nil, fmt.Errorf("%w: out-of-core plans need a power of two ≥ 4, got %d", fft.ErrNotPowerOfTwo, n)
+		return nil, fmt.Errorf("%w: out-of-core plans need a power of two ≥ 4, got %d", fft.ErrUnsupportedLength, n)
 	}
 	n1, n2 := cfg.factor(n)
 	if n1*n2 != n || fft.Log2(n1) < 1 || fft.Log2(n2) < 1 {
-		return nil, fmt.Errorf("%w: factorization %d×%d invalid for N=%d", fft.ErrNotPowerOfTwo, n1, n2, n)
+		return nil, fmt.Errorf("%w: factorization %d×%d invalid for N=%d", fft.ErrUnsupportedLength, n1, n2, n)
 	}
 	lmax := int64(max(n1, n2))
 	smax := min(n1, n2)

@@ -269,16 +269,16 @@ func TestContextCancel(t *testing.T) {
 
 // TestPlanValidation covers the constructor's error paths.
 func TestPlanValidation(t *testing.T) {
-	if _, err := NewPlan(100); !errors.Is(err, fft.ErrNotPowerOfTwo) {
-		t.Fatalf("N=100: err = %v, want ErrNotPowerOfTwo", err)
+	if _, err := NewPlan(100); !errors.Is(err, fft.ErrUnsupportedLength) {
+		t.Fatalf("N=100: err = %v, want ErrUnsupportedLength", err)
 	}
-	if _, err := NewPlan(2); !errors.Is(err, fft.ErrNotPowerOfTwo) {
-		t.Fatalf("N=2: err = %v, want ErrNotPowerOfTwo (needs two factors ≥ 2)", err)
+	if _, err := NewPlan(2); !errors.Is(err, fft.ErrUnsupportedLength) {
+		t.Fatalf("N=2: err = %v, want ErrUnsupportedLength (needs two factors ≥ 2)", err)
 	}
-	if _, err := NewPlan(1 << 10, WithTileVecs(3)); err == nil {
+	if _, err := NewPlan(1<<10, WithTileVecs(3)); err == nil {
 		t.Fatal("non-power-of-two tile accepted")
 	}
-	if _, err := NewPlan(1 << 10, WithMemoryBudget(1024)); err == nil {
+	if _, err := NewPlan(1<<10, WithMemoryBudget(1024)); err == nil {
 		t.Fatal("impossible memory budget accepted")
 	}
 	p, err := NewPlan(1 << 10)

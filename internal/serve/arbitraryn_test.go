@@ -1,8 +1,8 @@
 // Arbitrary-N end-to-end tests: with the facade planning any positive
-// length, the daemon serves non-power-of-two complex transforms and
-// answers unservable shapes — real non-pow2, below MinN — with 400, not
-// 500. This is the HTTP-visible edge of the mixed-radix/Bluestein
-// planner.
+// length, the daemon serves non-power-of-two complex transforms (and
+// any even-length real transform) and answers unservable shapes — real
+// odd lengths, below MinN — with 400, not 500. This is the
+// HTTP-visible edge of the mixed-radix/Bluestein planner.
 package serve
 
 import (
@@ -59,10 +59,10 @@ func TestJSONArbitraryN(t *testing.T) {
 func TestArbitraryNUnservableShapesReturn400(t *testing.T) {
 	s, ts := newTestServer(t, Config{BatchWindow: -1})
 	cases := map[string]jsonRequest{
-		"real non-pow2":     {Kind: "real", Re: make([]float64, 12)},
-		"real-inv non-pow2": {Kind: "real-inverse", Re: make([]float64, 51), Im: make([]float64, 51)},
-		"below MinN":        {Kind: "forward", Re: make([]float64, 3), Im: make([]float64, 3)},
-		"empty":             {Kind: "forward"},
+		"real odd length": {Kind: "real", Re: make([]float64, 13)},
+		"real-inv tiny":   {Kind: "real-inverse", Re: make([]float64, 2), Im: make([]float64, 2)},
+		"below MinN":      {Kind: "forward", Re: make([]float64, 3), Im: make([]float64, 3)},
+		"empty":           {Kind: "forward"},
 	}
 	for name, req := range cases {
 		resp, _ := postJSON(t, ts.URL, req)

@@ -168,6 +168,24 @@ func (s *Server) runBatch(key batchKey, live []*pending) (err error) {
 				return err
 			}
 		}
+	case KindSTFT:
+		// Spectrogram chunks carry pre-windowed frames, so the executor
+		// is a pure batched transform: frames from every coalesced
+		// stream flatten into one dispatch.
+		var plan codeletfft.Plan
+		plan, err = codeletfft.CachedHostPlan(key.n, s.planOpts...)
+		if err != nil {
+			return err
+		}
+		total := 0
+		for _, p := range live {
+			total += len(p.frames)
+		}
+		batch := make([][]complex128, 0, total)
+		for _, p := range live {
+			batch = append(batch, p.frames...)
+		}
+		return plan.TransformBatch(batch)
 	}
 	return nil
 }

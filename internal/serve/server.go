@@ -10,10 +10,12 @@
 //
 // Endpoints:
 //
-//	POST /fft      JSON request  {"kind","re","im"} → {"n","re","im"}
-//	POST /fft/bin  binary Frame (codec.go) → binary Frame
-//	GET  /metrics  plain-text instrument exposition
-//	GET  /healthz  "ok", or 503 once draining
+//	POST /fft       JSON request  {"kind","re","im"} → {"n","re","im"}
+//	POST /fft/bin   binary Frame (codec.go) → binary Frame
+//	POST /fft/stft  JSON request {"frame","hop","window","samples"} →
+//	                chunked NDJSON spectrogram stream (stft.go)
+//	GET  /metrics   plain-text instrument exposition
+//	GET  /healthz   "ok", or 503 once draining
 //
 // Shedding semantics: a request that arrives while the server drains is
 // refused with 503 before any work happens; one that finds the
@@ -27,7 +29,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/bits"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -152,8 +153,9 @@ type pending struct {
 	done    chan error // buffered; receives exactly one result
 	data    []complex128
 	realIn  []float64
-	spec    []complex128 // KindReal output (N/2+1 bins)
-	realOut []float64    // KindRealInverse output (N samples)
+	spec    []complex128   // KindReal output (N/2+1 bins)
+	realOut []float64      // KindRealInverse output (N samples)
+	frames  [][]complex128 // KindSTFT: windowed frames, transformed in place
 }
 
 // serverMetrics names every instrument once, so handler code reads like
@@ -169,6 +171,9 @@ type serverMetrics struct {
 	expired   *metrics.Counter
 	panics    *metrics.Counter
 	batches   *metrics.Counter
+
+	stftStreams *metrics.Counter
+	stftFrames  *metrics.Counter
 
 	shardRequests *metrics.Counter
 	shardOK       *metrics.Counter
@@ -202,6 +207,9 @@ func newServerMetrics(r *metrics.Registry) serverMetrics {
 		expired:   r.Counter("fft_expired_in_queue_total"),
 		panics:    r.Counter("fft_panics_total"),
 		batches:   r.Counter("fft_batches_total"),
+
+		stftStreams: r.Counter("fft_stft_streams_total"),
+		stftFrames:  r.Counter("fft_stft_frames_total"),
 
 		shardRequests: r.Counter("shard_requests_total"),
 		shardOK:       r.Counter("shard_ok_total"),
@@ -242,7 +250,8 @@ func newEngineObserver(r *metrics.Registry) *engineObserver {
 	// radix-4 or split-radix batch doesn't race a map write.
 	for _, p := range []string{host.PassBitRev, host.PassStage, host.PassStageRadix4,
 		host.PassStageSplitRadix, host.PassStageSoA2, host.PassStageSoA4,
-		host.PassSoAPack, host.PassSoAUnpack, host.PassConj, host.PassScale} {
+		host.PassSoAPack, host.PassSoAUnpack, host.PassConj, host.PassScale,
+		host.PassStageMixed, host.PassChirp} {
 		passes[p] = r.Histogram("engine_pass_"+p+"_seconds", latency)
 	}
 	return &engineObserver{
@@ -335,6 +344,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /fft", s.handleJSON)
 	mux.HandleFunc("POST /fft/bin", s.handleBinary)
+	mux.HandleFunc("POST /fft/stft", s.handleSTFT)
 	if cfg.EnableShard {
 		mux.HandleFunc("POST /fft/shard", s.handleShard)
 	}
@@ -415,15 +425,15 @@ func shapeErrorf(format string, args ...any) error {
 }
 
 // checkN validates a transform length against the server's bounds.
-// Complex kinds serve any length the facade plans (any n ≥ 1, via
-// mixed-radix or Bluestein); real kinds keep the packed path's
-// power-of-two ≥ 4 requirement. Every rejection is a shapeError — a
-// 400, never a 500 — because an unservable length is a client mistake,
-// not a daemon fault.
+// Complex kinds (and STFT frame lengths) serve any length the facade
+// plans (any n ≥ 1, via mixed-radix or Bluestein); real kinds carry
+// the packed path's even ≥ 4 requirement. Every rejection is a
+// shapeError — a 400, never a 500 — because an unservable length is a
+// client mistake, not a daemon fault.
 func (s *Server) checkN(n int, kind Kind) error {
 	if kind == KindReal || kind == KindRealInverse {
-		if n < 4 || bits.OnesCount(uint(n)) != 1 {
-			return shapeErrorf("real transforms need a power-of-two length ≥ 4, got %d", n)
+		if n < 4 || n%2 != 0 {
+			return shapeErrorf("real transforms need an even length ≥ 4, got %d", n)
 		}
 	} else if n < 1 {
 		return shapeErrorf("transform length %d is not positive", n)

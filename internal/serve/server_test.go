@@ -345,7 +345,8 @@ func TestPanicIsolation(t *testing.T) {
 func TestBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{BatchWindow: -1, MaxN: 1 << 12})
 	for name, req := range map[string]jsonRequest{
-		"real non-pow2":      {Kind: "real", Re: make([]float64, 100)},
+		"real odd length":    {Kind: "real", Re: make([]float64, 101)},
+		"real tiny":          {Kind: "real", Re: make([]float64, 2)},
 		"unknown kind":       {Kind: "sideways", Re: make([]float64, 64)},
 		"too large":          {Kind: "forward", Re: make([]float64, 1<<13)},
 		"too small":          {Kind: "forward", Re: make([]float64, 2)},

@@ -1,0 +1,202 @@
+// The streaming spectrogram endpoint. POST /fft/stft takes a real
+// signal plus frame/hop/window parameters and streams the spectrogram
+// back as NDJSON — a header line, then one line per frame — flushing
+// after every chunk, so a long signal's first frames arrive while the
+// last are still being transformed.
+//
+// The endpoint rides the daemon's existing production controls rather
+// than sidestepping them:
+//
+//   - Admission: a stream is refused up front with 503 under drain and
+//     429 when the queue is full, like any other request, and holds one
+//     queue slot for its whole lifetime so Drain cannot declare the
+//     server idle while a stream is mid-flight.
+//   - Micro-batching: frames are windowed in the handler and submitted
+//     in chunks under batchKey{frame, KindSTFT}; chunks from concurrent
+//     streams of one frame length coalesce into shared TransformBatch
+//     dispatches.
+//   - Graceful drain: chunks of an already-admitted stream keep flowing
+//     during drain (the batcher flushes them immediately), so an
+//     in-flight spectrogram finishes rather than being severed.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"codeletfft"
+)
+
+// stftChunkFrames bounds how many frames ride in one submitted chunk —
+// the streaming granularity and the per-stream working set. It matches
+// the batch executor's sweet spot: large enough to amortize the stage
+// barrier, small enough that first output leaves quickly.
+const stftChunkFrames = 64
+
+// stftRequest is the endpoint's JSON wire format.
+type stftRequest struct {
+	// Frame is the analysis frame length (any planner-served length);
+	// Hop is the sample advance between frames, in [1, Frame].
+	Frame int `json:"frame"`
+	Hop   int `json:"hop"`
+	// Window selects the analysis window: "hann" (periodic, the
+	// spectrogram default) or ""/"rect" for rectangular.
+	Window string `json:"window"`
+	// Samples is the real signal; ⌊(len−frame)/hop⌋+1 frames result.
+	Samples []float64 `json:"samples"`
+}
+
+// stftHeader is the stream's first NDJSON line.
+type stftHeader struct {
+	Frames int `json:"frames"`
+	Bins   int `json:"bins"`
+	Hop    int `json:"hop"`
+}
+
+// stftFrame is one spectrogram frame line.
+type stftFrame struct {
+	I  int       `json:"i"`
+	Re []float64 `json:"re"`
+	Im []float64 `json:"im"`
+}
+
+// stftError trails the stream when a chunk fails after the header has
+// been sent (the status code is already on the wire by then).
+type stftError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSTFT(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.m.requests.Inc()
+	defer func() { s.m.requestSec.Observe(time.Since(start).Seconds()) }()
+
+	var req stftRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.m.bad.Inc()
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.checkN(req.Frame, KindSTFT); err != nil {
+		s.m.bad.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Hop < 1 || req.Hop > req.Frame {
+		s.m.bad.Inc()
+		http.Error(w, shapeErrorf("hop %d outside [1, frame=%d]", req.Hop, req.Frame).Error(), http.StatusBadRequest)
+		return
+	}
+	var win []float64
+	switch req.Window {
+	case "hann":
+		win = codeletfft.HannWindow(req.Frame)
+	case "", "rect":
+	default:
+		s.m.bad.Inc()
+		http.Error(w, shapeErrorf("unknown window %q", req.Window).Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Admission happens once, up front: drain refuses new streams, a
+	// full queue sheds them, and the stream's slot is held until the
+	// last frame is written so Drain waits out in-flight spectrograms.
+	if s.draining.Load() {
+		s.m.shedDrain.Inc()
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	d, err := s.deadlineFor(r)
+	if err != nil {
+		s.m.bad.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.m.shedQueue.Inc()
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+
+	s.m.stftStreams.Inc()
+	nf := 0
+	if len(req.Samples) >= req.Frame {
+		nf = 1 + (len(req.Samples)-req.Frame)/req.Hop
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(stftHeader{Frames: nf, Bins: req.Frame, Hop: req.Hop})
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	key := batchKey{n: req.Frame, kind: KindSTFT}
+	line := stftFrame{Re: make([]float64, req.Frame), Im: make([]float64, req.Frame)}
+	for base := 0; base < nf; base += stftChunkFrames {
+		cnt := min(stftChunkFrames, nf-base)
+		frames := make([][]complex128, cnt)
+		slab := make([]complex128, cnt*req.Frame)
+		for f := 0; f < cnt; f++ {
+			row := slab[f*req.Frame : (f+1)*req.Frame]
+			src := req.Samples[(base+f)*req.Hop : (base+f)*req.Hop+req.Frame]
+			if win != nil {
+				for i, v := range src {
+					row[i] = complex(v*win[i], 0)
+				}
+			} else {
+				for i, v := range src {
+					row[i] = complex(v, 0)
+				}
+			}
+			frames[f] = row
+		}
+
+		// Continuation chunks of an admitted stream block for a slot
+		// instead of shedding: severing a half-written spectrogram is
+		// worse than queueing behind it.
+		p := &pending{ctx: ctx, done: make(chan error, 1), frames: frames}
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			s.m.deadline.Inc()
+			_ = enc.Encode(stftError{Error: "deadline exceeded"})
+			return
+		}
+		s.batcherFor(key).add(p)
+		var chunkErr error
+		select {
+		case chunkErr = <-p.done:
+		case <-ctx.Done():
+			chunkErr = ctx.Err()
+		}
+		if chunkErr != nil {
+			s.m.deadline.Inc()
+			_ = enc.Encode(stftError{Error: chunkErr.Error()})
+			return
+		}
+
+		for f, row := range frames {
+			line.I = base + f
+			for i, v := range row {
+				line.Re[i], line.Im[i] = real(v), imag(v)
+			}
+			if err := enc.Encode(line); err != nil {
+				return // client went away
+			}
+		}
+		s.m.stftFrames.Add(int64(cnt))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	s.m.ok.Inc()
+}

@@ -144,8 +144,8 @@ func TestOOCPlanFileAndMetrics(t *testing.T) {
 
 // TestOOCErrors covers the re-exported sentinels and option failures.
 func TestOOCErrors(t *testing.T) {
-	if _, err := codeletfft.NewOOCPlan(1000); !errors.Is(err, codeletfft.ErrNotPowerOfTwo) {
-		t.Fatalf("N=1000: err = %v, want ErrNotPowerOfTwo", err)
+	if _, err := codeletfft.NewOOCPlan(1000); !errors.Is(err, codeletfft.ErrUnsupportedLength) {
+		t.Fatalf("N=1000: err = %v, want ErrUnsupportedLength", err)
 	}
 	if _, err := codeletfft.ParseOOCPolicy("nope", 0); err == nil {
 		t.Fatal("ParseOOCPolicy accepted garbage")
